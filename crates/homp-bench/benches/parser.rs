@@ -1,0 +1,73 @@
+//! Criterion: directive front-end — lexing + parsing the paper's
+//! example directives, device-specifier resolution, and full lowering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use homp_core::{compile, CompileOptions};
+use homp_lang::{parse_directive, resolve_devices, Env};
+use std::hint::black_box;
+
+const AXPY_DATA: &str = "#pragma omp parallel target device (*) \
+    map(tofrom: y[0:n] partition([BLOCK])) \
+    map(to: x[0:n] partition([BLOCK]),a,n)";
+
+const JACOBI_DATA: &str = "#pragma omp parallel target data device(*) \
+    map(to:n, m, omega, ax, ay, b, f[0:n][0:m] partition([ALIGN(loop1)], FULL)) \
+    map(tofrom:u[0:n][0:m] partition([ALIGN(loop1)], FULL)) \
+    map(alloc:uold[0:n][0:m] partition([ALIGN(loop1)], FULL) halo(1,))";
+
+const LOOP: &str = "#pragma omp parallel for target device(*) collapse(2) \
+    reduction(+:error) distribute dist_schedule(target:[AUTO], CUTOFF(15%))";
+
+const TYPES: &[&str] = &[
+    "HOMP_DEVICE_HOSTCPU",
+    "HOMP_DEVICE_NVGPU",
+    "HOMP_DEVICE_NVGPU",
+    "HOMP_DEVICE_NVGPU",
+    "HOMP_DEVICE_NVGPU",
+    "HOMP_DEVICE_ITLMIC",
+    "HOMP_DEVICE_ITLMIC",
+];
+
+fn bench_parser(c: &mut Criterion) {
+    c.bench_function("parse/axpy-data-directive", |b| {
+        b.iter(|| black_box(parse_directive(AXPY_DATA).unwrap()))
+    });
+    c.bench_function("parse/jacobi-data-directive", |b| {
+        b.iter(|| black_box(parse_directive(JACOBI_DATA).unwrap()))
+    });
+    c.bench_function("parse/loop-directive", |b| {
+        b.iter(|| black_box(parse_directive(LOOP).unwrap()))
+    });
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    let d = parse_directive("#pragma omp target device(0:*:HOMP_DEVICE_NVGPU)").unwrap();
+    let spec = d.device().unwrap();
+    c.bench_function("resolve/gpu-filter-on-7dev", |b| {
+        b.iter(|| black_box(resolve_devices(spec, TYPES).unwrap()))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let data = parse_directive(JACOBI_DATA).unwrap();
+    let lp = parse_directive(LOOP).unwrap();
+    let mut env = Env::new();
+    env.insert("n".into(), 256);
+    env.insert("m".into(), 256);
+    c.bench_function("compile/jacobi-region", |b| {
+        b.iter(|| {
+            black_box(
+                compile(
+                    &[&data, &lp],
+                    &env,
+                    TYPES,
+                    &CompileOptions::new("jacobi", 256).with_loop_label("loop1"),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_parser, bench_resolution, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion: end-to-end simulated offloads, one group per evaluation
+//! machine. Measures the *harness* cost (planning + simulation +
+//! phantom execution) of each policy at paper problem sizes — the
+//! runtime's own overhead, independent of virtual time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homp_core::{Algorithm, Runtime};
+use homp_kernels::{KernelSpec, PhantomKernel};
+use homp_sim::Machine;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let cases = [
+        ("4xK40", Machine::four_k40()),
+        ("2cpu+2mic", Machine::two_cpus_two_mics()),
+        ("full-node", Machine::full_node()),
+    ];
+    for (name, machine) in cases {
+        let mut group = c.benchmark_group(format!("offload/{name}"));
+        for alg in Algorithm::paper_suite() {
+            // axpy-10M: the paper's running example; dynamic produces 50
+            // chunks, static plans produce one per device.
+            let spec = KernelSpec::Axpy(10_000_000);
+            group.bench_with_input(
+                BenchmarkId::new(alg.to_string(), spec.label()),
+                &spec,
+                |b, spec| {
+                    b.iter(|| {
+                        let mut rt = Runtime::new(machine.clone(), 7);
+                        let region =
+                            spec.region((0..machine.len() as u32).collect(), alg);
+                        let mut k = PhantomKernel::new(spec.intensity());
+                        black_box(rt.offload(&region, &mut k).unwrap().time_ms())
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_jacobi(c: &mut Criterion) {
+    c.bench_function("jacobi/48x40x10-sweeps/4xK40", |b| {
+        b.iter(|| {
+            let mut j = homp_kernels::jacobi::Jacobi::new(48, 40);
+            let mut rt = Runtime::new(Machine::four_k40(), 3);
+            let rep = j.run_distributed(&mut rt, vec![0, 1, 2, 3], Algorithm::Block, 10, 0.0);
+            black_box(rep.error)
+        })
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_jacobi);
+criterion_main!(benches);

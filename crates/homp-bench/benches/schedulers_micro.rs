@@ -1,0 +1,93 @@
+//! Criterion: microbenchmarks of the scheduling primitives — the
+//! planning functions the proxy threads run per offload, the atomic
+//! chunk queue, and the real-thread host executor on actual AXPY work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use homp_core::disjoint::DisjointMut;
+use homp_core::host_exec;
+use homp_core::sched::chunking::{ChunkQueue, DynamicChunks, GuidedChunks};
+use homp_core::sched::model_sched::{model1_plan, model2_plan};
+use homp_model::{largest_remainder, KernelIntensity};
+use homp_sim::Machine;
+use std::hint::black_box;
+
+fn axpy_intensity() -> KernelIntensity {
+    KernelIntensity {
+        flops_per_iter: 2.0,
+        mem_elems_per_iter: 3.0,
+        data_elems_per_iter: 3.0,
+        elem_bytes: 8.0,
+    }
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let params = Machine::full_node().datasheet_params();
+    let k = axpy_intensity();
+    c.bench_function("plan/model1/7dev", |b| {
+        b.iter(|| black_box(model1_plan(&params, &k, 10_000_000, Some(0.15))))
+    });
+    c.bench_function("plan/model2/7dev", |b| {
+        b.iter(|| black_box(model2_plan(&params, &k, 10_000_000, Some(0.15))))
+    });
+    c.bench_function("plan/largest_remainder/7dev", |b| {
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        b.iter(|| black_box(largest_remainder(&w, 10_000_000)))
+    });
+}
+
+fn bench_chunk_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunk-queue");
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("dynamic/drain-1M-by-2pct", |b| {
+        let policy = DynamicChunks::from_pct(1_000_000, 2.0);
+        b.iter(|| {
+            let mut q = ChunkQueue::new(1_000_000, 4);
+            let mut n = 0u64;
+            while let Some(r) = q.grab(&policy) {
+                n += r.len();
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("guided/drain-1M-from-20pct", |b| {
+        let policy = GuidedChunks::from_pct(1_000_000, 20.0);
+        b.iter(|| {
+            let mut q = ChunkQueue::new(1_000_000, 4);
+            let mut n = 0u64;
+            while let Some(r) = q.grab(&policy) {
+                n += r.len();
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_host_exec(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let a = 1.5f64;
+    let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.001).collect();
+    let mut group = c.benchmark_group("host-exec/axpy-1M");
+    group.throughput(Throughput::Elements(n as u64));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("dynamic", workers), &workers, |b, &w| {
+            let mut y = vec![0.0f64; n];
+            b.iter(|| {
+                let dj = DisjointMut::new(&mut y);
+                let xs = &x;
+                host_exec::run_dynamic(n as u64, w, 4096, |_w, r| {
+                    // SAFETY: the CAS queue hands out disjoint ranges.
+                    #[allow(unsafe_code)]
+                    let ys = unsafe { dj.slice_mut(r.start as usize, r.end as usize) };
+                    for (i, yy) in ys.iter_mut().enumerate() {
+                        *yy += a * xs[r.start as usize + i];
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_chunk_queue, bench_host_exec);
+criterion_main!(benches);

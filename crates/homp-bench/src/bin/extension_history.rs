@@ -1,0 +1,60 @@
+//! Extension experiment: history-based prediction (Qilin \[21\], listed
+//! by the paper as future work on "improving prediction models").
+//!
+//! Repeated offloads of the same kernel — a common pattern in iterative
+//! applications — let the runtime learn each device's true throughput.
+//! This binary shows the convergence: offload k's time under
+//! `offload_learned`, against the static MODEL_1 / MODEL_2 baselines.
+
+use homp_bench::{write_artifact, SEED};
+use homp_core::history::HistoryDb;
+use homp_core::{Algorithm, Runtime};
+use homp_kernels::{KernelSpec, PhantomKernel};
+use homp_sim::Machine;
+use std::fmt::Write as _;
+
+fn main() {
+    let machine = Machine::full_node();
+    let specs = [KernelSpec::Axpy(10_000_000), KernelSpec::MatMul(6_144), KernelSpec::Sum(300_000_000)];
+
+    let mut csv = String::from("kernel,offload_index,learned_ms,model1_ms,model2_ms\n");
+    for spec in specs {
+        let mut rt = Runtime::new(machine.clone(), SEED);
+        let mut db = HistoryDb::new();
+
+        let baseline = |alg: Algorithm| {
+            let mut rt = Runtime::new(machine.clone(), SEED);
+            let region = spec.region((0..7).collect(), alg);
+            let mut k = PhantomKernel::new(spec.intensity());
+            rt.offload(&region, &mut k).unwrap().time_ms()
+        };
+        let m1 = baseline(Algorithm::Model1 { cutoff: None });
+        let m2 = baseline(Algorithm::Model2 { cutoff: None });
+
+        println!("== {} : learned offloads vs static models ==", spec.label());
+        println!("  MODEL_1 baseline: {m1:>10.3} ms   MODEL_2 baseline: {m2:>10.3} ms");
+        let region = spec.region((0..7).collect(), Algorithm::Model1 { cutoff: None });
+        for i in 0..6 {
+            let mut k = PhantomKernel::new(spec.intensity());
+            let rep = rt.offload_learned(&region, &mut k, &mut db).unwrap();
+            println!(
+                "  offload {i}: {:>10.3} ms  ({} devices used)",
+                rep.time_ms(),
+                rep.counts.iter().filter(|&&c| c > 0).count()
+            );
+            let _ = writeln!(
+                csv,
+                "{},{},{:.6},{:.6},{:.6}",
+                spec.label(),
+                i,
+                rep.time_ms(),
+                m1,
+                m2
+            );
+        }
+        println!();
+    }
+    println!("(offload 0 runs MODEL_1 cold; from offload 1 on, measured throughput");
+    println!(" drives the split and should approach or beat MODEL_2)");
+    write_artifact("extension_history.csv", &csv);
+}

@@ -1,0 +1,51 @@
+//! Figure 5 — offloading execution time (ms) on 2 K80 GPUs (4 K40s)
+//! under the seven loop distribution policies.
+//!
+//! Paper findings to reproduce in shape: compute-intensive kernels
+//! (matmul, stencil, bm) run best under BLOCK; data-intensive ones
+//! (axpy, matvec, sum) run best under SCHED_DYNAMIC thanks to
+//! transfer/compute overlap.
+
+use homp_bench::{format_matrix, grid_csv, run_grid, write_artifact, Cell, SEED};
+use homp_core::Algorithm;
+use homp_kernels::KernelSpec;
+use homp_sim::Machine;
+
+fn main() {
+    let machine = Machine::four_k40();
+    let specs = KernelSpec::paper_suite();
+    let algorithms = Algorithm::paper_suite();
+
+    let grid = run_grid(&machine, &specs, &algorithms, SEED);
+    print!(
+        "{}",
+        format_matrix(
+            "Fig. 5: offloading execution time on 4x K40 (2x K80)",
+            &grid,
+            Cell::ms,
+            "ms"
+        )
+    );
+
+    // The paper's qualitative claims, checked live.
+    println!("\nshape checks:");
+    for row in &grid {
+        let kernel = &row[0].kernel;
+        let block = row.iter().find(|c| c.algorithm == "BLOCK").unwrap();
+        let dynamic =
+            row.iter().find(|c| c.algorithm.starts_with("SCHED_DYNAMIC")).unwrap();
+        let winner = if block.ms() <= dynamic.ms() { "BLOCK" } else { "SCHED_DYNAMIC" };
+        let expected = match kernel.split('-').next().unwrap() {
+            "matmul" | "stencil2d" | "bm2d" => "BLOCK",
+            _ => "SCHED_DYNAMIC",
+        };
+        println!(
+            "  {kernel:<16} BLOCK {:>10.3} ms vs DYNAMIC {:>10.3} ms -> {winner:<14} (paper: {expected}) {}",
+            block.ms(),
+            dynamic.ms(),
+            if winner == expected { "OK" } else { "DIFFERS" }
+        );
+    }
+
+    write_artifact("fig5.csv", &grid_csv(&grid));
+}

@@ -1,0 +1,59 @@
+//! Figure 7 — strong-scaling speedup using 1→4 K40 GPUs.
+//!
+//! For each kernel, the speedup of the best policy on k GPUs over the
+//! single-GPU time. The paper reports near-linear scaling for the
+//! compute-intensive kernels and sublinear scaling for the
+//! data-intensive ones (the PCIe links saturate).
+
+use homp_bench::{try_run_one, write_artifact, SEED};
+use homp_core::Algorithm;
+use homp_kernels::KernelSpec;
+use homp_sim::Machine;
+use std::fmt::Write as _;
+
+fn main() {
+    let specs = KernelSpec::paper_suite();
+    let algorithms = Algorithm::paper_suite();
+
+    // Best time per kernel per GPU count, skipping plans that cannot
+    // fit device memory (matvec-48k's matrix exceeds one K40; chunked
+    // algorithms stream it).
+    let mut best: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
+    for k in 1..=4usize {
+        let machine = Machine::k40s(k);
+        for (si, &spec) in specs.iter().enumerate() {
+            let t = algorithms
+                .iter()
+                .filter_map(|&alg| try_run_one(&machine, spec, alg, SEED))
+                .map(|c| c.ms())
+                .fold(f64::INFINITY, f64::min);
+            assert!(t.is_finite(), "no algorithm fits {} on {k} GPU(s)", spec.label());
+            best[si].push(t);
+        }
+    }
+
+    println!("== Fig. 7: speedup over 1 GPU (best policy per point) ==");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}",
+        "kernel", "1 GPU", "2 GPUs", "3 GPUs", "4 GPUs"
+    );
+    let mut csv = String::from("kernel,gpus,best_ms,speedup\n");
+    for (si, spec) in specs.iter().enumerate() {
+        let base = best[si][0];
+        let speedups: Vec<f64> = best[si].iter().map(|t| base / t).collect();
+        println!(
+            "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            spec.label(),
+            speedups[0],
+            speedups[1],
+            speedups[2],
+            speedups[3]
+        );
+        for (k, (t, s)) in best[si].iter().zip(&speedups).enumerate() {
+            let _ = writeln!(csv, "{},{},{:.6},{:.4}", spec.label(), k + 1, t, s);
+        }
+    }
+
+    println!("\n(compute-intensive kernels should approach 4x; data-intensive stay sublinear)");
+    write_artifact("fig7.csv", &csv);
+}

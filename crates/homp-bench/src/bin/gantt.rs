@@ -1,0 +1,88 @@
+//! Timeline viewer: render one offload as an ASCII Gantt chart.
+//!
+//! ```text
+//! cargo run --release -p homp-bench --bin gantt [kernel] [algorithm] [machine]
+//!   kernel    axpy | matvec | matmul | stencil | sum | bm   (default axpy)
+//!   algorithm block | dynamic | guided | model1 | model2 | profile | mprofile
+//!   machine   gpus | cpumic | full                          (default gpus)
+//! ```
+//!
+//! Glyphs: `i` init/launch, `<` H2D, `#` kernel, `>` D2H, `.` barrier
+//! wait. The staircase of `<#>` cells under `dynamic` *is* the
+//! transfer/compute overlap the paper credits for SCHED_DYNAMIC's wins.
+//! A Chrome-trace JSON of the same timeline is written to `results/`
+//! for inspection in Perfetto.
+
+use homp_core::{Algorithm, Runtime};
+use homp_kernels::{KernelSpec, PhantomKernel};
+use homp_sim::Machine;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel = args.first().map(String::as_str).unwrap_or("axpy");
+    let algorithm = args.get(1).map(String::as_str).unwrap_or("dynamic");
+    let machine_name = args.get(2).map(String::as_str).unwrap_or("gpus");
+
+    let spec = match kernel {
+        "axpy" => KernelSpec::Axpy(10_000_000),
+        "matvec" => KernelSpec::MatVec(48_000),
+        "matmul" => KernelSpec::MatMul(6_144),
+        "stencil" => KernelSpec::Stencil2d(256),
+        "sum" => KernelSpec::Sum(300_000_000),
+        "bm" => KernelSpec::BlockMatching(256),
+        other => {
+            eprintln!("unknown kernel `{other}`");
+            std::process::exit(1);
+        }
+    };
+    let alg = match algorithm {
+        "block" => Algorithm::Block,
+        "dynamic" => Algorithm::Dynamic { chunk_pct: 2.0 },
+        "guided" => Algorithm::Guided { chunk_pct: 20.0 },
+        "model1" => Algorithm::Model1 { cutoff: None },
+        "model2" => Algorithm::Model2 { cutoff: None },
+        "profile" => Algorithm::ProfileConst { sample_pct: 10.0, cutoff: None },
+        "mprofile" => Algorithm::ProfileModel { sample_pct: 10.0, cutoff: None },
+        other => {
+            eprintln!("unknown algorithm `{other}`");
+            std::process::exit(1);
+        }
+    };
+    let machine = match machine_name {
+        "gpus" => Machine::four_k40(),
+        "cpumic" => Machine::two_cpus_two_mics(),
+        "full" => Machine::full_node(),
+        other => {
+            eprintln!("unknown machine `{other}`");
+            std::process::exit(1);
+        }
+    };
+
+    let mut rt = Runtime::new(machine.clone(), 42);
+    let region = spec.region((0..machine.len() as u32).collect(), alg);
+    let mut k = PhantomKernel::new(spec.intensity());
+    let report = rt.offload(&region, &mut k).expect("offload");
+
+    println!(
+        "{} under {} on {} — {:.3} ms, {} chunks, {:.2}% imbalance\n",
+        spec.label(),
+        report.algorithm,
+        machine.name,
+        report.time_ms(),
+        report.chunks,
+        report.imbalance_pct
+    );
+    print!("{}", report.trace.gantt(machine.len(), 100));
+    println!("\n  i init/launch   < H2D   # kernel   > D2H   . barrier wait");
+    for d in &machine.devices {
+        println!("  dev{} = {}", d.id, d.name);
+    }
+
+    // Also export a Perfetto/chrome://tracing timeline.
+    let name = format!("trace_{}_{}.json", spec.label(), algorithm);
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write(format!("results/{name}"), report.trace.to_chrome_json()).is_ok()
+    {
+        println!("\n[wrote results/{name} — open in https://ui.perfetto.dev]");
+    }
+}

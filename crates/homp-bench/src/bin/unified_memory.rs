@@ -1,0 +1,46 @@
+//! Unified-memory experiment (Section V-C).
+//!
+//! "If not explicitly specified in the user program, we do not use this
+//! feature because of the observed poor performances of using unified
+//! memory as compared with explicit data movement (maximum of 10 and 18
+//! times slowdown in our BLAS examples)." Reproduce by flipping the
+//! GPUs' memory kind to `Unified` and measuring the two BLAS kernels.
+
+use homp_bench::{write_artifact, SEED};
+use homp_core::{Algorithm, Runtime};
+use homp_kernels::{KernelSpec, PhantomKernel};
+use homp_sim::{Machine, MemoryKind};
+use std::fmt::Write as _;
+
+fn machine(unified: bool) -> Machine {
+    let mut m = Machine::four_k40();
+    if unified {
+        for d in &mut m.devices {
+            d.memory = MemoryKind::Unified;
+        }
+        m.name = "4xK40-unified".into();
+    }
+    m
+}
+
+fn main() {
+    println!("== Unified memory vs explicit data movement (4x K40, BLOCK) ==");
+    println!("{:<16} {:>14} {:>14} {:>10}", "kernel", "explicit ms", "unified ms", "slowdown");
+    let mut csv = String::from("kernel,explicit_ms,unified_ms,slowdown\n");
+    // The paper's "BLAS examples": axpy (level 1) and matvec (level 2).
+    for spec in [KernelSpec::Axpy(10_000_000), KernelSpec::MatVec(48_000)] {
+        let run = |m: Machine| {
+            let mut rt = Runtime::new(m, SEED);
+            let region = spec.region(vec![0, 1, 2, 3], Algorithm::Block);
+            let mut k = PhantomKernel::new(spec.intensity());
+            rt.offload(&region, &mut k).unwrap().time_ms()
+        };
+        let explicit = run(machine(false));
+        let unified = run(machine(true));
+        let slowdown = unified / explicit;
+        println!("{:<16} {:>14.3} {:>14.3} {:>9.1}x", spec.label(), explicit, unified, slowdown);
+        let _ = writeln!(csv, "{},{:.6},{:.6},{:.3}", spec.label(), explicit, unified, slowdown);
+    }
+    println!("\n(paper: maximum of 10x and 18x slowdown on its BLAS examples)");
+    write_artifact("unified_memory.csv", &csv);
+}

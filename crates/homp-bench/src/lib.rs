@@ -1,0 +1,226 @@
+//! Harness utilities shared by the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's experiment index). This library
+//! holds the shared machinery: running a kernel×algorithm grid on a
+//! simulated machine, formatting the result matrices the way the paper
+//! reports them, and writing CSV artifacts to `results/`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use homp_core::{Algorithm, OffloadReport, Runtime};
+use homp_kernels::{KernelSpec, PhantomKernel};
+use homp_sim::Machine;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Default noise seed for all experiments (deterministic).
+pub const SEED: u64 = 20170529; // IPPS 2017 orlando week
+
+/// One cell of a result grid.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Kernel label (`matmul-6144`).
+    pub kernel: String,
+    /// Algorithm notation (`SCHED_DYNAMIC,2%`).
+    pub algorithm: String,
+    /// The offload report.
+    pub report: OffloadReport,
+}
+
+impl Cell {
+    /// Offload time in ms.
+    pub fn ms(&self) -> f64 {
+        self.report.time_ms()
+    }
+}
+
+/// Number of noise seeds each measurement is averaged over (the paper
+/// reports averaged execution times).
+pub const RUNS: u64 = 5;
+
+/// Run one kernel under one algorithm on `machine` (phantom kernel at
+/// paper size — the simulator prices it, no host-side arithmetic).
+/// The returned cell carries the report of the *median-time* run out of
+/// [`RUNS`] seeds, with its makespan replaced by the mean.
+pub fn run_one(machine: &Machine, spec: KernelSpec, alg: Algorithm, seed: u64) -> Cell {
+    let mut reports = Vec::with_capacity(RUNS as usize);
+    for run in 0..RUNS {
+        let mut rt = Runtime::new(machine.clone(), seed.wrapping_add(run * 7919));
+        let devices = (0..machine.len() as u32).collect();
+        let region = spec.region(devices, alg);
+        let mut kernel = PhantomKernel::new(spec.intensity());
+        let report = rt.offload(&region, &mut kernel).expect("offload");
+        assert_eq!(kernel.executed(), spec.trip_count(), "harness must cover the loop");
+        reports.push(report);
+    }
+    reports.sort_by(|a, b| a.makespan.partial_cmp(&b.makespan).unwrap());
+    let mean_secs =
+        reports.iter().map(|r| r.makespan.as_secs()).sum::<f64>() / reports.len() as f64;
+    let mut median = reports.swap_remove(reports.len() / 2);
+    median.makespan = homp_sim::SimSpan::from_secs(mean_secs);
+    Cell { kernel: spec.label(), algorithm: alg.to_string(), report: median }
+}
+
+/// Like [`run_one`], but `None` when the plan legitimately cannot run
+/// (e.g. a static plan whose per-device mapping exceeds device memory —
+/// matvec-48k's 18 GB matrix on a single 12 GB K40). Chunked algorithms
+/// stream and typically still fit.
+pub fn try_run_one(
+    machine: &Machine,
+    spec: KernelSpec,
+    alg: Algorithm,
+    seed: u64,
+) -> Option<Cell> {
+    let mut rt = Runtime::new(machine.clone(), seed);
+    let devices = (0..machine.len() as u32).collect();
+    let region = spec.region(devices, alg);
+    let mut kernel = PhantomKernel::new(spec.intensity());
+    match rt.offload(&region, &mut kernel) {
+        Ok(report) => {
+            Some(Cell { kernel: spec.label(), algorithm: alg.to_string(), report })
+        }
+        Err(homp_core::OffloadError::OutOfDeviceMemory { .. }) => None,
+        Err(e) => panic!("offload failed: {e}"),
+    }
+}
+
+/// Run the full kernel × algorithm grid.
+pub fn run_grid(
+    machine: &Machine,
+    specs: &[KernelSpec],
+    algorithms: &[Algorithm],
+    seed: u64,
+) -> Vec<Vec<Cell>> {
+    specs
+        .iter()
+        .map(|&spec| {
+            algorithms.iter().map(|&alg| run_one(machine, spec, alg, seed)).collect()
+        })
+        .collect()
+}
+
+/// Format a kernels×algorithms matrix of a per-cell metric, in the
+/// paper's layout (kernels as columns, algorithms as rows).
+pub fn format_matrix(
+    title: &str,
+    grid: &[Vec<Cell>],
+    metric: impl Fn(&Cell) -> f64,
+    unit: &str,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    if grid.is_empty() {
+        return out;
+    }
+    let kernels: Vec<&str> = grid.iter().map(|row| row[0].kernel.as_str()).collect();
+    let algs: Vec<&str> = grid[0].iter().map(|c| c.algorithm.as_str()).collect();
+    let _ = write!(out, "{:<28}", format!("algorithm ({unit})"));
+    for k in &kernels {
+        let _ = write!(out, "{k:>15}");
+    }
+    out.push('\n');
+    for (ai, alg) in algs.iter().enumerate() {
+        let _ = write!(out, "{alg:<28}");
+        for row in grid {
+            let _ = write!(out, "{:>15.3}", metric(&row[ai]));
+        }
+        out.push('\n');
+    }
+    // Winner row, as the paper discusses "best policy per kernel".
+    let _ = write!(out, "{:<28}", "BEST");
+    for row in grid {
+        let best = row
+            .iter()
+            .min_by(|a, b| metric(a).partial_cmp(&metric(b)).unwrap())
+            .unwrap();
+        let _ = write!(out, "{:>15}", best.algorithm.split(',').next().unwrap());
+    }
+    out.push('\n');
+    out
+}
+
+/// CSV of a grid: `kernel,algorithm,time_ms,imbalance_pct,chunks,kept`.
+pub fn grid_csv(grid: &[Vec<Cell>]) -> String {
+    let mut out = String::from("kernel,algorithm,time_ms,imbalance_pct,chunks,kept_devices\n");
+    for row in grid {
+        for c in row {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{:.3},{},{}",
+                c.kernel,
+                c.algorithm,
+                c.ms(),
+                c.report.imbalance_pct,
+                c.report.chunks,
+                c.report.kept_devices.len()
+            );
+        }
+    }
+    out
+}
+
+/// Write an artifact under `results/`, creating the directory.
+pub fn write_artifact(name: &str, content: &str) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(name);
+        if std::fs::write(&path, content).is_ok() {
+            println!("[wrote {}]", path.display());
+        }
+    }
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Best (minimum-time) cell of a row.
+pub fn best_cell(row: &[Cell]) -> &Cell {
+    row.iter().min_by(|a, b| a.ms().partial_cmp(&b.ms()).unwrap()).expect("non-empty row")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_one_produces_sane_cell() {
+        let c = run_one(
+            &Machine::four_k40(),
+            KernelSpec::Stencil2d(256),
+            Algorithm::Block,
+            1,
+        );
+        assert_eq!(c.kernel, "stencil2d-256");
+        assert!(c.ms() > 0.0);
+    }
+
+    #[test]
+    fn grid_shape_and_csv() {
+        let grid = run_grid(
+            &Machine::four_k40(),
+            &[KernelSpec::Stencil2d(64), KernelSpec::Axpy(10_000)],
+            &[Algorithm::Block, Algorithm::Dynamic { chunk_pct: 2.0 }],
+            1,
+        );
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].len(), 2);
+        let csv = grid_csv(&grid);
+        assert_eq!(csv.lines().count(), 5);
+        let table = format_matrix("t", &grid, Cell::ms, "ms");
+        assert!(table.contains("BEST"));
+        assert!(table.contains("stencil2d-64"));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

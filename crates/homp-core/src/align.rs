@@ -1,0 +1,281 @@
+//! The alignment graph (Sections III-3 and V-D).
+//!
+//! `ALIGN` binds an array dimension's distribution to a loop's (or vice
+//! versa): "the runtime makes copies of the ranges of the alignees as
+//! the aligners' ranges. … For alignment in which multiple distributions
+//! form an inter-dependent alignment relationship, the runtime re-links
+//! those distributions so each aligner points to the root alignee's
+//! distribution."
+//!
+//! Nodes are named distributable entities — the loop label (`loop1`) and
+//! each array's distributed dimension (`x`, `uold`). Each node carries a
+//! policy; `Align` edges are resolved transitively to a root whose policy
+//! is concrete (BLOCK / AUTO / FULL). Cycles and dangling targets are
+//! errors.
+
+use crate::dist::Distribution;
+use homp_lang::DistPolicy;
+use std::collections::HashMap;
+
+/// A node in the alignment graph.
+#[derive(Debug, Clone)]
+struct Node {
+    policy: DistPolicy,
+}
+
+/// Error building or resolving the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// An `ALIGN` target names an entity that was never registered.
+    UnknownTarget {
+        /// The aligner.
+        from: String,
+        /// The missing alignee.
+        target: String,
+    },
+    /// The alignment relation contains a cycle.
+    Cycle(Vec<String>),
+    /// The same entity was registered twice.
+    Duplicate(String),
+    /// A root node needs a concrete distribution but none was supplied.
+    UnresolvedRoot(String),
+}
+
+impl std::fmt::Display for AlignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignError::UnknownTarget { from, target } => {
+                write!(f, "`{from}` aligns with unknown entity `{target}`")
+            }
+            AlignError::Cycle(path) => write!(f, "alignment cycle: {}", path.join(" -> ")),
+            AlignError::Duplicate(n) => write!(f, "entity `{n}` registered twice"),
+            AlignError::UnresolvedRoot(n) => {
+                write!(f, "root entity `{n}` has no concrete distribution")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+/// The alignment graph for one offload region.
+#[derive(Debug, Clone, Default)]
+pub struct AlignGraph {
+    nodes: HashMap<String, Node>,
+}
+
+impl AlignGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an entity (loop label or array-dimension name) with its
+    /// source-level policy.
+    pub fn add(&mut self, name: impl Into<String>, policy: DistPolicy) -> Result<(), AlignError> {
+        let name = name.into();
+        if self.nodes.contains_key(&name) {
+            return Err(AlignError::Duplicate(name));
+        }
+        self.nodes.insert(name, Node { policy });
+        Ok(())
+    }
+
+    /// Resolve `name` to its root alignee, returning
+    /// `(root name, accumulated ratio, root policy)`. The accumulated
+    /// ratio is the product of the `ALIGN` ratios along the chain.
+    pub fn resolve_root(&self, name: &str) -> Result<(String, u64, DistPolicy), AlignError> {
+        let mut path = vec![name.to_string()];
+        let mut current = name.to_string();
+        let mut ratio = 1u64;
+        loop {
+            let node = self.nodes.get(&current).ok_or_else(|| AlignError::UnknownTarget {
+                from: path[path.len().saturating_sub(2).min(path.len() - 1)].clone(),
+                target: current.clone(),
+            })?;
+            match &node.policy {
+                DistPolicy::Align { target, ratio: r } => {
+                    ratio *= r;
+                    if path.contains(target) {
+                        path.push(target.clone());
+                        return Err(AlignError::Cycle(path));
+                    }
+                    path.push(target.clone());
+                    current = target.clone();
+                }
+                concrete => return Ok((current.clone(), ratio, concrete.clone())),
+            }
+        }
+    }
+
+    /// Resolve every registered entity to a concrete [`Distribution`].
+    ///
+    /// `roots` supplies the distribution of each root entity (for BLOCK
+    /// roots the caller typically passes `Distribution::block`, for AUTO
+    /// loop roots the scheduler's output, for FULL a replication).
+    /// Aligners receive the root's distribution scaled by the chain
+    /// ratio.
+    pub fn resolve_all(
+        &self,
+        roots: &HashMap<String, Distribution>,
+    ) -> Result<HashMap<String, Distribution>, AlignError> {
+        let mut out = HashMap::new();
+        for name in self.nodes.keys() {
+            let (root, ratio, _policy) = self.resolve_root(name)?;
+            let base = roots
+                .get(&root)
+                .ok_or_else(|| AlignError::UnresolvedRoot(root.clone()))?;
+            let dist = if ratio == 1 { base.clone() } else { base.scaled(ratio) };
+            out.insert(name.clone(), dist);
+        }
+        Ok(out)
+    }
+
+    /// Names of all root entities (non-ALIGN policies) with their
+    /// policies.
+    pub fn roots(&self) -> Vec<(String, DistPolicy)> {
+        let mut v: Vec<(String, DistPolicy)> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| !matches!(n.policy, DistPolicy::Align { .. }))
+            .map(|(k, n)| (k.clone(), n.policy.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.nodes.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn align(target: &str) -> DistPolicy {
+        DistPolicy::Align { target: target.into(), ratio: 1 }
+    }
+
+    #[test]
+    fn v1_style_loop_aligns_with_array() {
+        // axpy_homp_v1: x,y are BLOCK; loop ALIGN(x).
+        let mut g = AlignGraph::new();
+        g.add("x", DistPolicy::Block).unwrap();
+        g.add("y", DistPolicy::Block).unwrap();
+        g.add("loop", align("x")).unwrap();
+        let (root, ratio, policy) = g.resolve_root("loop").unwrap();
+        assert_eq!(root, "x");
+        assert_eq!(ratio, 1);
+        assert_eq!(policy, DistPolicy::Block);
+
+        let mut roots = HashMap::new();
+        roots.insert("x".into(), Distribution::block(100, 4));
+        roots.insert("y".into(), Distribution::block(100, 4));
+        let resolved = g.resolve_all(&roots).unwrap();
+        assert_eq!(resolved["loop"], Distribution::block(100, 4));
+    }
+
+    #[test]
+    fn v2_style_arrays_align_with_loop() {
+        // axpy_homp_v2: loop AUTO; x,y ALIGN(loop).
+        let mut g = AlignGraph::new();
+        g.add("loop", DistPolicy::Auto).unwrap();
+        g.add("x", align("loop")).unwrap();
+        g.add("y", align("loop")).unwrap();
+        let auto = Distribution::from_counts(100, &[70, 20, 10, 0]);
+        let mut roots = HashMap::new();
+        roots.insert("loop".into(), auto.clone());
+        let resolved = g.resolve_all(&roots).unwrap();
+        assert_eq!(resolved["x"], auto);
+        assert_eq!(resolved["y"], auto);
+    }
+
+    #[test]
+    fn chains_relink_to_root() {
+        // y ALIGN(x), x ALIGN(loop), loop BLOCK — both resolve to loop.
+        let mut g = AlignGraph::new();
+        g.add("loop", DistPolicy::Block).unwrap();
+        g.add("x", align("loop")).unwrap();
+        g.add("y", align("x")).unwrap();
+        let (root, _, _) = g.resolve_root("y").unwrap();
+        assert_eq!(root, "loop");
+    }
+
+    #[test]
+    fn ratios_multiply_along_chain() {
+        let mut g = AlignGraph::new();
+        g.add("loop", DistPolicy::Block).unwrap();
+        g.add("x", DistPolicy::Align { target: "loop".into(), ratio: 2 }).unwrap();
+        g.add("y", DistPolicy::Align { target: "x".into(), ratio: 3 }).unwrap();
+        let (root, ratio, _) = g.resolve_root("y").unwrap();
+        assert_eq!(root, "loop");
+        assert_eq!(ratio, 6);
+
+        let mut roots = HashMap::new();
+        roots.insert("loop".into(), Distribution::block(10, 2));
+        let resolved = g.resolve_all(&roots).unwrap();
+        assert_eq!(resolved["y"].total(), 60);
+        assert_eq!(resolved["y"].range(0).end, 30);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = AlignGraph::new();
+        g.add("a", align("b")).unwrap();
+        g.add("b", align("a")).unwrap();
+        match g.resolve_root("a") {
+            Err(AlignError::Cycle(path)) => {
+                assert_eq!(path.first().unwrap(), "a");
+                assert_eq!(path.last().unwrap(), "a");
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_alignment_is_a_cycle() {
+        let mut g = AlignGraph::new();
+        g.add("a", align("a")).unwrap();
+        assert!(matches!(g.resolve_root("a"), Err(AlignError::Cycle(_))));
+    }
+
+    #[test]
+    fn unknown_target_reported() {
+        let mut g = AlignGraph::new();
+        g.add("loop", align("ghost")).unwrap();
+        assert_eq!(
+            g.resolve_root("loop"),
+            Err(AlignError::UnknownTarget { from: "loop".into(), target: "ghost".into() })
+        );
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut g = AlignGraph::new();
+        g.add("x", DistPolicy::Block).unwrap();
+        assert_eq!(g.add("x", DistPolicy::Full), Err(AlignError::Duplicate("x".into())));
+    }
+
+    #[test]
+    fn roots_listed() {
+        let mut g = AlignGraph::new();
+        g.add("loop", DistPolicy::Auto).unwrap();
+        g.add("x", align("loop")).unwrap();
+        g.add("f", DistPolicy::Full).unwrap();
+        let roots = g.roots();
+        assert_eq!(
+            roots,
+            vec![("f".to_string(), DistPolicy::Full), ("loop".to_string(), DistPolicy::Auto)]
+        );
+    }
+
+    #[test]
+    fn missing_root_distribution_is_error() {
+        let mut g = AlignGraph::new();
+        g.add("loop", DistPolicy::Auto).unwrap();
+        let err = g.resolve_all(&HashMap::new()).unwrap_err();
+        assert_eq!(err, AlignError::UnresolvedRoot("loop".into()));
+    }
+}

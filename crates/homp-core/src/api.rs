@@ -1,0 +1,378 @@
+//! High-level facade: parse → compile → offload in three calls.
+//!
+//! ```
+//! use homp_core::api::Homp;
+//! use homp_core::{FnKernel, Range};
+//! use homp_lang::Env;
+//! use homp_model::KernelIntensity;
+//! use homp_sim::Machine;
+//!
+//! let mut homp = Homp::new(Machine::four_k40());
+//! let mut env = Env::new();
+//! env.insert("n".into(), 1_000);
+//!
+//! let region = homp
+//!     .compile_source(
+//!         &[
+//!             "#pragma omp parallel target device(*) \
+//!               map(tofrom: y[0:n] partition([ALIGN(loop)])) \
+//!               map(to: x[0:n] partition([ALIGN(loop)]), a, n)",
+//!             "#pragma omp parallel for distribute dist_schedule(target:[AUTO])",
+//!         ],
+//!         &env,
+//!         homp_core::compile::CompileOptions::new("axpy", 1_000),
+//!     )
+//!     .unwrap();
+//!
+//! let a = 2.0f64;
+//! let x: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
+//! let mut y = vec![1.0f64; 1_000];
+//! let intensity = KernelIntensity {
+//!     flops_per_iter: 2.0,
+//!     mem_elems_per_iter: 3.0,
+//!     data_elems_per_iter: 3.0,
+//!     elem_bytes: 8.0,
+//! };
+//! let report = {
+//!     let mut kernel = FnKernel::new(intensity, |r: Range| {
+//!         for i in r.start..r.end {
+//!             y[i as usize] += a * x[i as usize];
+//!         }
+//!     });
+//!     homp.offload(&region, &mut kernel).unwrap()
+//! };
+//! assert_eq!(y[10], 1.0 + 2.0 * 10.0);
+//! assert!(report.time_ms() > 0.0);
+//! ```
+
+use crate::compile::{compile, CompileError, CompileOptions};
+use crate::offload::OffloadRegion;
+use crate::runtime::{LoopKernel, OffloadError, OffloadReport, Runtime};
+use homp_lang::{parse_directive, Env, ParseError};
+use homp_sim::{Machine, NoiseModel};
+
+/// Error from the facade: parse, compile or offload failure.
+#[derive(Debug)]
+pub enum HompError {
+    /// Directive text failed to parse.
+    Parse(ParseError),
+    /// Lowering failed.
+    Compile(CompileError),
+    /// Offload failed.
+    Offload(OffloadError),
+    /// A `halo_exchange` directive did not match the region.
+    HaloExchange(String),
+}
+
+impl From<ParseError> for HompError {
+    fn from(e: ParseError) -> Self {
+        HompError::Parse(e)
+    }
+}
+
+impl From<CompileError> for HompError {
+    fn from(e: CompileError) -> Self {
+        HompError::Compile(e)
+    }
+}
+
+impl From<OffloadError> for HompError {
+    fn from(e: OffloadError) -> Self {
+        HompError::Offload(e)
+    }
+}
+
+impl std::fmt::Display for HompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HompError::Parse(e) => write!(f, "parse: {e}"),
+            HompError::Compile(e) => write!(f, "compile: {e}"),
+            HompError::Offload(e) => write!(f, "offload: {e}"),
+            HompError::HaloExchange(msg) => write!(f, "halo_exchange: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HompError {}
+
+/// The HOMP system: a machine, its runtime, and the directive pipeline.
+pub struct Homp {
+    runtime: Runtime,
+    type_names: Vec<&'static str>,
+}
+
+impl Homp {
+    /// HOMP over `machine` with the default noise seed.
+    pub fn new(machine: Machine) -> Self {
+        Self::with_seed(machine, 42)
+    }
+
+    /// HOMP with an explicit noise seed.
+    pub fn with_seed(machine: Machine, seed: u64) -> Self {
+        let type_names: Vec<&'static str> =
+            machine.devices.iter().map(|d| d.dev_type.homp_name()).collect();
+        Self { runtime: Runtime::new(machine, seed), type_names }
+    }
+
+    /// Noiseless HOMP (deterministic cost model without jitter).
+    pub fn noiseless(machine: Machine) -> Self {
+        let type_names: Vec<&'static str> =
+            machine.devices.iter().map(|d| d.dev_type.homp_name()).collect();
+        Self { runtime: Runtime::with_noise(machine, NoiseModel::disabled()), type_names }
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Mutable access to the runtime (ablation switches etc.).
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.runtime
+    }
+
+    /// Parse directive sources and lower them to a region.
+    pub fn compile_source(
+        &self,
+        sources: &[&str],
+        env: &Env,
+        opts: CompileOptions,
+    ) -> Result<OffloadRegion, HompError> {
+        let parsed: Vec<_> =
+            sources.iter().map(|s| parse_directive(s)).collect::<Result<_, _>>()?;
+        let refs: Vec<&_> = parsed.iter().collect();
+        Ok(compile(&refs, env, &self.type_names, &opts)?)
+    }
+
+    /// Run an offload region.
+    pub fn offload(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+    ) -> Result<OffloadReport, HompError> {
+        Ok(self.runtime.offload(region, kernel)?)
+    }
+
+    /// Run with resident data (inside a `target data` region).
+    pub fn offload_resident(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+    ) -> Result<OffloadReport, HompError> {
+        Ok(self.runtime.offload_with(region, kernel, true)?)
+    }
+
+    /// Execute a `#pragma omp halo_exchange (var)` directive against a
+    /// region: looks up `var`'s halo width and row size in the region's
+    /// maps, plans the pairwise boundary sends for `dist`, and simulates
+    /// them. Returns the exchange's virtual duration; `Ok(SimSpan::ZERO)`
+    /// when the devices share memory.
+    pub fn halo_exchange(
+        &mut self,
+        directive_src: &str,
+        region: &OffloadRegion,
+        dist: &crate::dist::Distribution,
+    ) -> Result<homp_sim::SimSpan, HompError> {
+        let d = parse_directive(directive_src)?;
+        if !d.constructs.contains(&homp_lang::ConstructKeyword::HaloExchange) {
+            return Err(HompError::HaloExchange(
+                "directive is not a halo_exchange".into(),
+            ));
+        }
+        let var = d.halo_exchange_var.clone().ok_or_else(|| {
+            HompError::HaloExchange("halo_exchange needs a variable: halo_exchange (v)".into())
+        })?;
+        let array = region.array(&var).ok_or_else(|| {
+            HompError::HaloExchange(format!("array `{var}` is not mapped in this region"))
+        })?;
+        let dim = array.distributed_dim().unwrap_or(0);
+        let width = array.halo.get(dim).copied().flatten().ok_or_else(|| {
+            HompError::HaloExchange(format!("array `{var}` was mapped without halo(…)"))
+        })?;
+        let slab = array.slab_bytes(dim);
+        Ok(self.runtime.exchange_halo(&region.devices, dist, width, slab))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::FnKernel;
+    use crate::Range;
+    use homp_model::KernelIntensity;
+
+    #[test]
+    fn end_to_end_from_directive_text() {
+        let mut homp = Homp::new(Machine::full_node());
+        let mut env = Env::new();
+        env.insert("n".into(), 5_000);
+        let region = homp
+            .compile_source(
+                &[
+                    "#pragma omp parallel target device(*) \
+                     map(tofrom: y[0:n] partition([ALIGN(loop)])) \
+                     map(to: x[0:n] partition([ALIGN(loop)]), a, n)",
+                    "#pragma omp parallel for distribute \
+                     dist_schedule(target:[SCHED_DYNAMIC,2%])",
+                ],
+                &env,
+                CompileOptions::new("axpy", 5_000),
+            )
+            .unwrap();
+        let mut executed = 0u64;
+        let intensity = KernelIntensity {
+            flops_per_iter: 2.0,
+            mem_elems_per_iter: 3.0,
+            data_elems_per_iter: 3.0,
+            elem_bytes: 8.0,
+        };
+        let report = {
+            let mut kernel = FnKernel::new(intensity, |r: Range| executed += r.len());
+            homp.offload(&region, &mut kernel).unwrap()
+        };
+        assert_eq!(executed, 5_000);
+        assert_eq!(report.counts.iter().sum::<u64>(), 5_000);
+    }
+
+    #[test]
+    fn bad_directive_surfaces_parse_error() {
+        let homp = Homp::new(Machine::four_k40());
+        let err = homp
+            .compile_source(&["#pragma omp frobnicate"], &Env::new(), CompileOptions::new("k", 1))
+            .unwrap_err();
+        assert!(matches!(err, HompError::Parse(_)));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::runtime::FnKernel;
+    use crate::Range;
+    use homp_model::KernelIntensity;
+
+    fn intensity() -> KernelIntensity {
+        KernelIntensity {
+            flops_per_iter: 2.0,
+            mem_elems_per_iter: 3.0,
+            data_elems_per_iter: 3.0,
+            elem_bytes: 8.0,
+        }
+    }
+
+    #[test]
+    fn resident_offload_through_facade() {
+        let mut homp = Homp::noiseless(Machine::four_k40());
+        let mut env = Env::new();
+        env.insert("n".into(), 10_000);
+        let region = homp
+            .compile_source(
+                &[
+                    "#pragma omp parallel target data device(*) \
+                     map(to: big[0:n*64]) \
+                     map(tofrom: y[0:n] partition([ALIGN(loop)]))",
+                    "#pragma omp parallel for distribute dist_schedule(target:[BLOCK])",
+                ],
+                &env,
+                crate::compile::CompileOptions::new("resident", 10_000),
+            )
+            .unwrap();
+        let mut k1 = FnKernel::new(intensity(), |_r: Range| {});
+        let cold = homp.offload(&region, &mut k1).unwrap().makespan;
+        let mut k2 = FnKernel::new(intensity(), |_r: Range| {});
+        let warm = homp.offload_resident(&region, &mut k2).unwrap().makespan;
+        assert!(warm < cold, "resident {warm} !< cold {cold}");
+    }
+
+    #[test]
+    fn error_display_is_prefixed_by_stage() {
+        let homp = Homp::new(Machine::four_k40());
+        let parse_err = homp
+            .compile_source(&["@@@"], &Env::new(), crate::compile::CompileOptions::new("k", 1))
+            .unwrap_err();
+        assert!(parse_err.to_string().starts_with("parse:"), "{parse_err}");
+
+        let compile_err = homp
+            .compile_source(
+                &["#pragma omp parallel for map(to: x[0:n])"],
+                &Env::new(),
+                crate::compile::CompileOptions::new("k", 1),
+            )
+            .unwrap_err();
+        assert!(compile_err.to_string().starts_with("compile:"), "{compile_err}");
+    }
+
+    #[test]
+    fn halo_exchange_directive_executes() {
+        let mut homp = Homp::noiseless(Machine::four_k40());
+        let mut env = Env::new();
+        env.insert("n".into(), 64);
+        env.insert("m".into(), 32);
+        let region = homp
+            .compile_source(
+                &[
+                    "#pragma omp parallel target data device(*)                      map(alloc: uold[0:n][0:m] partition([ALIGN(loop1)], FULL) halo(1,))",
+                ],
+                &env,
+                crate::compile::CompileOptions::new("jacobi", 64).with_loop_label("loop1"),
+            )
+            .unwrap();
+        let dist = crate::dist::Distribution::block(64, 4);
+        let span = homp
+            .halo_exchange("#pragma omp halo_exchange (uold)", &region, &dist)
+            .unwrap();
+        assert!(span.as_secs() > 0.0, "GPUs pay for boundary rows");
+
+        let err = homp
+            .halo_exchange("#pragma omp halo_exchange (ghost)", &region, &dist)
+            .unwrap_err();
+        assert!(err.to_string().contains("not mapped"), "{err}");
+
+        let err = homp
+            .halo_exchange("#pragma omp parallel for", &region, &dist)
+            .unwrap_err();
+        assert!(err.to_string().contains("not a halo_exchange"), "{err}");
+    }
+
+    #[test]
+    fn halo_exchange_requires_halo_clause() {
+        let mut homp = Homp::noiseless(Machine::four_k40());
+        let mut env = Env::new();
+        env.insert("n".into(), 64);
+        let region = homp
+            .compile_source(
+                &["#pragma omp target device(*) map(to: u[0:n] partition([ALIGN(loop)]))"],
+                &env,
+                crate::compile::CompileOptions::new("k", 64),
+            )
+            .unwrap();
+        let dist = crate::dist::Distribution::block(64, 4);
+        let err = homp
+            .halo_exchange("#pragma omp halo_exchange (u)", &region, &dist)
+            .unwrap_err();
+        assert!(err.to_string().contains("without halo"), "{err}");
+    }
+
+    #[test]
+    fn device_variable_resolves_through_facade() {
+        // Fig. 1's standard-OpenMP `device(devid)` form.
+        let mut homp = Homp::new(Machine::four_k40());
+        let mut env = Env::new();
+        env.insert("n".into(), 1_000);
+        env.insert("devid".into(), 2);
+        let region = homp
+            .compile_source(
+                &[
+                    "#pragma omp target device(devid) \
+                     map(to: x[0:n] partition([ALIGN(loop)]))",
+                ],
+                &env,
+                crate::compile::CompileOptions::new("single", 1_000),
+            )
+            .unwrap();
+        assert_eq!(region.devices, vec![2]);
+        let mut k = FnKernel::new(intensity(), |_r: Range| {});
+        let rep = homp.offload(&region, &mut k).unwrap();
+        assert_eq!(rep.counts, vec![1_000]);
+    }
+}

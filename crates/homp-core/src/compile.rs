@@ -1,0 +1,433 @@
+//! Lowering parsed HOMP directives into [`OffloadRegion`]s.
+//!
+//! The paper's compiler (Section V-A) outlines each annotated region and
+//! "transforms the usage of HOMP syntax to runtime calls". This module
+//! is that transformation: it takes the parsed directives covering a
+//! loop (a `parallel target [data] device(…) map(…)` part and a
+//! `parallel for distribute dist_schedule(…)` part — or one combined
+//! directive), evaluates every array-section expression against the
+//! caller's variable bindings, resolves the device specifier against the
+//! machine, and produces the runtime's region descriptor.
+
+use crate::offload::{ArrayMap, OffloadRegion};
+use crate::sched::Algorithm;
+use homp_lang::{
+    resolve_devices_with_env, Clause, Directive, DistPolicy, Env, EvalError, MapItem,
+    ResolveError, ScheduleKind,
+};
+
+/// Options the source code supplies around the directives.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Kernel name for traces.
+    pub kernel_name: String,
+    /// Label of the distributed loop (ALIGN target), default `"loop"`.
+    pub loop_label: String,
+    /// Outer-loop trip count.
+    pub trip_count: u64,
+    /// Element size of mapped arrays (the paper's `REAL` = 8 bytes).
+    pub elem_bytes: u64,
+}
+
+impl CompileOptions {
+    /// Options with defaults for everything but the name and trip count.
+    pub fn new(kernel_name: impl Into<String>, trip_count: u64) -> Self {
+        Self {
+            kernel_name: kernel_name.into(),
+            loop_label: "loop".into(),
+            trip_count,
+            elem_bytes: 8,
+        }
+    }
+
+    /// Override the loop label.
+    pub fn with_loop_label(mut self, label: impl Into<String>) -> Self {
+        self.loop_label = label.into();
+        self
+    }
+}
+
+/// Error lowering directives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Expression evaluation failed (unbound variable, overflow, …).
+    Eval(EvalError),
+    /// Device-specifier resolution failed.
+    Resolve(ResolveError),
+    /// No `device(...)` clause found in any directive.
+    NoDeviceClause,
+    /// An array dimension evaluated to a negative length.
+    NegativeDim {
+        /// Array name.
+        array: String,
+        /// The evaluated length.
+        value: i64,
+    },
+}
+
+impl From<EvalError> for CompileError {
+    fn from(e: EvalError) -> Self {
+        CompileError::Eval(e)
+    }
+}
+
+impl From<ResolveError> for CompileError {
+    fn from(e: ResolveError) -> Self {
+        CompileError::Resolve(e)
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Eval(e) => write!(f, "{e}"),
+            CompileError::Resolve(e) => write!(f, "{e}"),
+            CompileError::NoDeviceClause => write!(f, "no device(...) clause in directives"),
+            CompileError::NegativeDim { array, value } => {
+                write!(f, "array `{array}` dimension evaluates to {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Lower one or more directives that jointly describe an offload region.
+///
+/// `device_types[i]` names the type of machine device `i`
+/// (`HOMP_DEVICE_*`), as produced by
+/// [`homp_sim::DeviceType::homp_name`].
+pub fn compile(
+    directives: &[&Directive],
+    env: &Env,
+    device_types: &[&str],
+    opts: &CompileOptions,
+) -> Result<OffloadRegion, CompileError> {
+    // ---- devices -------------------------------------------------------
+    let spec = directives
+        .iter()
+        .find_map(|d| d.device())
+        .ok_or(CompileError::NoDeviceClause)?;
+    let devices = resolve_devices_with_env(spec, device_types, env)?;
+
+    // ---- schedule ------------------------------------------------------
+    let mut algorithm = Algorithm::Auto { cutoff: None };
+    let mut loop_align = None;
+    let mut team_sched = homp_sim::TeamSched::Aggregate;
+    for d in directives {
+        // Teams-level schedule: within-device distribution.
+        for c in &d.clauses {
+            if let Clause::DistSchedule(s) = c {
+                if s.level == homp_lang::ScheduleLevel::Teams {
+                    team_sched = match s.kind {
+                        ScheduleKind::Block => homp_sim::TeamSched::Block,
+                        ScheduleKind::Dynamic { .. } | ScheduleKind::Guided { .. } => {
+                            homp_sim::TeamSched::Dynamic
+                        }
+                        _ => homp_sim::TeamSched::Aggregate,
+                    };
+                }
+            }
+        }
+        if let Some(s) = d.dist_schedule() {
+            match &s.kind {
+                ScheduleKind::Align { target, ratio } => {
+                    loop_align = Some((target.clone(), *ratio));
+                    algorithm = Algorithm::Block; // alignment implies static
+                }
+                kind => {
+                    algorithm = Algorithm::from_schedule_kind(kind, s.cutoff_pct)
+                        .expect("non-ALIGN kinds lower to algorithms");
+                }
+            }
+        }
+    }
+
+    // ---- maps ----------------------------------------------------------
+    let mut arrays = Vec::new();
+    let mut scalar_bytes = 0u64;
+    for d in directives {
+        for m in d.maps() {
+            for item in &m.items {
+                match item {
+                    MapItem::Scalar(_) => scalar_bytes += opts.elem_bytes,
+                    MapItem::Array { section, partition, halo } => {
+                        let mut dims = Vec::with_capacity(section.dims.len());
+                        for dim in &section.dims {
+                            let len = dim.len.eval(env)?;
+                            if len < 0 {
+                                return Err(CompileError::NegativeDim {
+                                    array: section.name.clone(),
+                                    value: len,
+                                });
+                            }
+                            dims.push(len as u64);
+                        }
+                        let ndims = dims.len();
+                        let mut policies: Vec<DistPolicy> = match partition {
+                            Some(p) => p.dims.iter().map(|(pol, _)| pol.clone()).collect(),
+                            None => vec![DistPolicy::Full; ndims],
+                        };
+                        policies.resize(ndims, DistPolicy::Full);
+                        let mut widths: Vec<Option<u64>> = match halo {
+                            Some(h) => h.widths.clone(),
+                            None => vec![None; ndims],
+                        };
+                        widths.resize(ndims, None);
+                        arrays.push(ArrayMap {
+                            name: section.name.clone(),
+                            dir: m.dir,
+                            dims,
+                            elem_bytes: opts.elem_bytes,
+                            partition: policies,
+                            halo: widths,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let parallel_offload = directives.iter().any(|d| d.is_parallel_target());
+
+    let mut region = OffloadRegion::builder(opts.kernel_name.clone())
+        .loop_label(opts.loop_label.clone())
+        .trip_count(opts.trip_count)
+        .algorithm(algorithm)
+        .devices(devices)
+        .scalars(scalar_bytes);
+    region = region.team_sched(team_sched);
+    if let Some((target, ratio)) = loop_align {
+        region = region.align_loop_with(target, ratio);
+    }
+    if !parallel_offload {
+        region = region.serialized_offload();
+    }
+    for a in arrays {
+        region = region.map_array(a);
+    }
+    Ok(region.build())
+}
+
+/// Reduction clauses found in the directives (the runtime's kernels
+/// handle the arithmetic; this surfaces the declaration).
+pub fn reductions(directives: &[&Directive]) -> Vec<(homp_lang::ReductionOp, Vec<String>)> {
+    let mut out = Vec::new();
+    for d in directives {
+        for c in &d.clauses {
+            if let Clause::Reduction { op, vars } = c {
+                out.push((*op, vars.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homp_lang::parse_directive;
+
+    const FULL: &[&str] = &[
+        "HOMP_DEVICE_HOSTCPU",
+        "HOMP_DEVICE_NVGPU",
+        "HOMP_DEVICE_NVGPU",
+        "HOMP_DEVICE_NVGPU",
+        "HOMP_DEVICE_NVGPU",
+        "HOMP_DEVICE_ITLMIC",
+        "HOMP_DEVICE_ITLMIC",
+    ];
+
+    fn env_n(n: i64) -> Env {
+        let mut e = Env::new();
+        e.insert("n".into(), n);
+        e
+    }
+
+    #[test]
+    fn compiles_axpy_v2() {
+        let data = parse_directive(
+            "#pragma omp parallel target device (*) \
+             map(tofrom: y[0:n] partition([ALIGN(loop)])) \
+             map(to: x[0:n] partition([ALIGN(loop)]),a,n)",
+        )
+        .unwrap();
+        let lp = parse_directive(
+            "#pragma omp parallel for distribute dist_schedule(target:[AUTO])",
+        )
+        .unwrap();
+        let region = compile(
+            &[&data, &lp],
+            &env_n(1000),
+            FULL,
+            &CompileOptions::new("axpy", 1000),
+        )
+        .unwrap();
+        assert_eq!(region.devices.len(), 7);
+        assert_eq!(region.trip_count, 1000);
+        assert_eq!(region.arrays.len(), 2);
+        assert_eq!(region.scalar_bytes, 16);
+        assert_eq!(region.algorithm, Algorithm::Auto { cutoff: None });
+        assert!(region.parallel_offload);
+        let y = region.array("y").unwrap();
+        assert_eq!(y.dims, vec![1000]);
+        assert_eq!(
+            y.partition[0],
+            DistPolicy::Align { target: "loop".into(), ratio: 1 }
+        );
+    }
+
+    #[test]
+    fn compiles_axpy_v1_with_loop_align() {
+        let data = parse_directive(
+            "#pragma omp parallel target device (*) \
+             map(tofrom: y[0:n] partition([BLOCK])) \
+             map(to: x[0:n] partition([BLOCK]),a,n)",
+        )
+        .unwrap();
+        let lp = parse_directive(
+            "#pragma omp parallel for distribute dist_schedule(target:[ALIGN(x)])",
+        )
+        .unwrap();
+        let region = compile(
+            &[&data, &lp],
+            &env_n(500),
+            FULL,
+            &CompileOptions::new("axpy", 500),
+        )
+        .unwrap();
+        assert_eq!(region.loop_align, Some(("x".into(), 1)));
+    }
+
+    #[test]
+    fn compiles_jacobi_with_halo_and_2d() {
+        let data = parse_directive(
+            "#pragma omp parallel target data device(*) \
+             map(to:n, m, omega, ax, ay, b, \
+               f[0:n][0:m] partition([ALIGN(loop1)], FULL)) \
+             map(tofrom:u[0:n][0:m] partition([ALIGN(loop1)], FULL)) \
+             map(alloc:uold[0:n][0:m] partition([ALIGN(loop1)], FULL) halo(1,))",
+        )
+        .unwrap();
+        let lp = parse_directive(
+            "#pragma omp parallel for target device(*) reduction(+:error) \
+             distribute dist_schedule(target:[AUTO])",
+        )
+        .unwrap();
+        let mut env = env_n(64);
+        env.insert("m".into(), 32);
+        let region = compile(
+            &[&data, &lp],
+            &env,
+            FULL,
+            &CompileOptions::new("jacobi", 64).with_loop_label("loop1"),
+        )
+        .unwrap();
+        assert_eq!(region.arrays.len(), 3);
+        let uold = region.array("uold").unwrap();
+        assert_eq!(uold.dims, vec![64, 32]);
+        assert_eq!(uold.halo, vec![Some(1), None]);
+        assert_eq!(region.scalar_bytes, 6 * 8);
+        let reds = reductions(&[&data, &lp]);
+        assert_eq!(reds.len(), 1);
+        assert_eq!(reds[0].1, vec!["error".to_string()]);
+    }
+
+    #[test]
+    fn device_filter_narrows_targets() {
+        let d = parse_directive(
+            "#pragma omp parallel target device(0:*:HOMP_DEVICE_NVGPU) \
+             map(to: x[0:n] partition([ALIGN(loop)]))",
+        )
+        .unwrap();
+        let region =
+            compile(&[&d], &env_n(100), FULL, &CompileOptions::new("k", 100)).unwrap();
+        assert_eq!(region.devices, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn schedule_with_cutoff_lowers() {
+        let d = parse_directive(
+            "#pragma omp parallel for target device(*) \
+             map(to: x[0:n] partition([ALIGN(loop)])) \
+             distribute dist_schedule(target:[MODEL_2_AUTO], CUTOFF(15%))",
+        )
+        .unwrap();
+        let region =
+            compile(&[&d], &env_n(100), FULL, &CompileOptions::new("k", 100)).unwrap();
+        assert_eq!(region.algorithm, Algorithm::Model2 { cutoff: Some(0.15) });
+    }
+
+    #[test]
+    fn missing_device_clause_is_error() {
+        let d = parse_directive("#pragma omp parallel for map(to: x[0:n])").unwrap();
+        assert_eq!(
+            compile(&[&d], &env_n(10), FULL, &CompileOptions::new("k", 10)).unwrap_err(),
+            CompileError::NoDeviceClause
+        );
+    }
+
+    #[test]
+    fn unbound_variable_is_error() {
+        let d = parse_directive(
+            "#pragma omp target device(*) map(to: x[0:missing])",
+        )
+        .unwrap();
+        match compile(&[&d], &Env::new(), FULL, &CompileOptions::new("k", 10)) {
+            Err(CompileError::Eval(EvalError::Unbound(v))) => assert_eq!(v, "missing"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_dim_is_error() {
+        let d = parse_directive("#pragma omp target device(*) map(to: x[0:n-50])").unwrap();
+        match compile(&[&d], &env_n(10), FULL, &CompileOptions::new("k", 10)) {
+            Err(CompileError::NegativeDim { array, value }) => {
+                assert_eq!(array, "x");
+                assert_eq!(value, -40);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn teams_level_schedule_lowers() {
+        let d = parse_directive(
+            "#pragma omp parallel for target device(*) \
+             map(to: x[0:n] partition([ALIGN(loop)])) \
+             distribute dist_schedule(teams:[SCHED_DYNAMIC,2%]) \
+             dist_schedule(target:[BLOCK])",
+        )
+        .unwrap();
+        let region =
+            compile(&[&d], &env_n(100), FULL, &CompileOptions::new("k", 100)).unwrap();
+        assert_eq!(region.team_sched, homp_sim::TeamSched::Dynamic);
+        assert_eq!(region.algorithm, Algorithm::Block);
+    }
+
+    #[test]
+    fn teams_block_lowers() {
+        let d = parse_directive(
+            "target device(*) map(to: x[0:n] partition([ALIGN(loop)])) \
+             distribute dist_schedule(teams:[BLOCK])",
+        )
+        .unwrap();
+        let region =
+            compile(&[&d], &env_n(100), FULL, &CompileOptions::new("k", 100)).unwrap();
+        assert_eq!(region.team_sched, homp_sim::TeamSched::Block);
+    }
+
+    #[test]
+    fn serialized_without_parallel_target() {
+        // A plain `target` (not `parallel target`) directive serializes
+        // the per-device offloads.
+        let d = parse_directive(
+            "#pragma omp target device(*) map(to: x[0:n] partition([ALIGN(loop)]))",
+        )
+        .unwrap();
+        let region =
+            compile(&[&d], &env_n(100), FULL, &CompileOptions::new("k", 100)).unwrap();
+        assert!(!region.parallel_offload);
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared-slice splitting for the real-thread host executor.
+//!
+//! Dynamic chunking hands out *runtime-decided* disjoint ranges, so the
+//! static `split_at_mut` pattern cannot type-check the disjointness.
+//! [`DisjointMut`] is the standard HPC escape hatch: a `Send + Sync`
+//! view of a mutable slice from which workers borrow disjoint subslices.
+//! Safety rests on the scheduler's partition invariant (each iteration
+//! is handed out exactly once — property-tested in
+//! [`crate::sched::chunking`]).
+
+use std::marker::PhantomData;
+
+/// A shareable view over a mutable slice that allows concurrent access
+/// to provably disjoint ranges.
+pub struct DisjointMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is only possible through `slice_mut`, whose contract
+// requires callers to present disjoint ranges; the borrow of the
+// underlying slice is held exclusively for 'a.
+unsafe impl<T: Send> Send for DisjointMut<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointMut<'_, T> {}
+
+impl<'a, T> DisjointMut<'a, T> {
+    /// Wrap a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrow `[start, end)` mutably.
+    ///
+    /// # Safety
+    /// No two live borrows obtained from this view (on any thread) may
+    /// overlap. The HOMP schedulers guarantee this: every loop iteration
+    /// — and therefore every aligned array index — is assigned to
+    /// exactly one chunk.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, end: usize) -> &mut [T] {
+        assert!(start <= end && end <= self.len, "range {start}..{end} out of 0..{}", self.len);
+        // SAFETY: bounds checked above; disjointness is the caller's
+        // contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_disjoint_access() {
+        let mut v = vec![0u64; 100];
+        {
+            let dj = DisjointMut::new(&mut v);
+            // SAFETY: the two ranges are disjoint and used sequentially.
+            unsafe {
+                for x in dj.slice_mut(0, 50) {
+                    *x = 1;
+                }
+                for x in dj.slice_mut(50, 100) {
+                    *x = 2;
+                }
+            }
+        }
+        assert!(v[..50].iter().all(|&x| x == 1));
+        assert!(v[50..].iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn concurrent_disjoint_access() {
+        let mut v = vec![0u64; 1000];
+        {
+            let dj = DisjointMut::new(&mut v);
+            std::thread::scope(|s| {
+                for w in 0..4 {
+                    let dj = &dj;
+                    s.spawn(move || {
+                        let (a, b) = (w * 250, (w + 1) * 250);
+                        // SAFETY: each worker's range is disjoint.
+                        let slice = unsafe { dj.slice_mut(a, b) };
+                        for (i, x) in slice.iter_mut().enumerate() {
+                            *x = (a + i) as u64;
+                        }
+                    });
+                }
+            });
+        }
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bounds_checked() {
+        let mut v = vec![0u64; 10];
+        let dj = DisjointMut::new(&mut v);
+        // SAFETY: never executes far enough to alias — panics on bounds.
+        let _ = unsafe { dj.slice_mut(5, 11) };
+    }
+}

@@ -1,0 +1,221 @@
+//! Halo (ghost-region) exchange — the `halo(1,)` map parameter and
+//! `#pragma omp halo_exchange (uold)` directive of Fig. 3.
+//!
+//! When a BLOCK/ALIGN-distributed array has a halo width `w` in its
+//! distributed dimension, each device's block is padded with `w` rows of
+//! its neighbours' data. After the owner updates its block, an exchange
+//! sends the `w` boundary rows to each adjacent device. On the
+//! simulator the exchange routes through host memory (device→host then
+//! host→device, as PCIe-attached accelerators without peer-to-peer do).
+
+use crate::dist::Distribution;
+use crate::region::Range;
+use homp_sim::{DeviceId, Dir, Engine, SimTime};
+
+/// One pairwise send in an exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaloTransfer {
+    /// Sending device slot (index into the distribution).
+    pub from_slot: usize,
+    /// Receiving device slot.
+    pub to_slot: usize,
+    /// Rows of the distributed dimension being sent.
+    pub rows: Range,
+}
+
+/// The transfers a halo exchange needs for a 1-D block distribution with
+/// ghost width `w`: each device sends its first/last `w` rows to the
+/// previous/next device owning a non-empty block.
+pub fn plan_exchange(dist: &Distribution, w: u64) -> Vec<HaloTransfer> {
+    let mut out = Vec::new();
+    if w == 0 {
+        return out;
+    }
+    // Owners with non-empty blocks, in space order (block dists are laid
+    // out contiguously in slot order, but skip empty slots).
+    let owners: Vec<usize> =
+        (0..dist.n_devices()).filter(|&s| !dist.range(s).is_empty()).collect();
+    for pair in owners.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let ra = dist.range(a);
+        let rb = dist.range(b);
+        // a sends its last w rows to b; b sends its first w rows to a.
+        out.push(HaloTransfer {
+            from_slot: a,
+            to_slot: b,
+            rows: Range::new(ra.end.saturating_sub(w.min(ra.len())), ra.end),
+        });
+        out.push(HaloTransfer {
+            from_slot: b,
+            to_slot: a,
+            rows: Range::new(rb.start, rb.start + w.min(rb.len())),
+        });
+    }
+    out
+}
+
+/// Execute a planned exchange on the simulator: each send is a D2H from
+/// the source followed by an H2D into the destination. `slots` maps
+/// distribution slots to machine device IDs; `slab_bytes` is the byte
+/// size of one row of the distributed dimension. `ready` gates the
+/// start; returns the instant the whole exchange completes.
+pub fn simulate_exchange(
+    engine: &mut Engine,
+    slots: &[DeviceId],
+    transfers: &[HaloTransfer],
+    slab_bytes: u64,
+    ready: SimTime,
+) -> SimTime {
+    let mut done = ready;
+    for t in transfers {
+        let bytes = t.rows.len() * slab_bytes;
+        if bytes == 0 {
+            continue;
+        }
+        let up = engine.transfer(slots[t.from_slot], bytes, Dir::D2H, ready, "halo-up");
+        let down = engine.transfer(slots[t.to_slot], bytes, Dir::H2D, up, "halo-down");
+        done = done.max(down);
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homp_sim::Machine;
+
+    #[test]
+    fn interior_devices_exchange_both_ways() {
+        let dist = Distribution::block(100, 4); // 25 each
+        let t = plan_exchange(&dist, 1);
+        // 3 adjacent pairs × 2 directions.
+        assert_eq!(t.len(), 6);
+        assert!(t.contains(&HaloTransfer { from_slot: 0, to_slot: 1, rows: Range::new(24, 25) }));
+        assert!(t.contains(&HaloTransfer { from_slot: 1, to_slot: 0, rows: Range::new(25, 26) }));
+        assert!(t.contains(&HaloTransfer { from_slot: 3, to_slot: 2, rows: Range::new(75, 76) }));
+    }
+
+    #[test]
+    fn zero_width_is_empty() {
+        assert!(plan_exchange(&Distribution::block(100, 4), 0).is_empty());
+    }
+
+    #[test]
+    fn single_device_needs_no_exchange() {
+        assert!(plan_exchange(&Distribution::block(100, 1), 2).is_empty());
+    }
+
+    #[test]
+    fn empty_blocks_skipped() {
+        // 2 iterations over 4 devices: only slots 0 and 1 own rows.
+        let dist = Distribution::block(2, 4);
+        let t = plan_exchange(&dist, 1);
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().all(|x| x.from_slot < 2 && x.to_slot < 2));
+    }
+
+    #[test]
+    fn wide_halo_clamps_to_block() {
+        let dist = Distribution::block(4, 2); // 2 rows each
+        let t = plan_exchange(&dist, 5);
+        for x in &t {
+            assert!(x.rows.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn exchange_rows_belong_to_sender() {
+        let dist = Distribution::block(97, 4);
+        for t in plan_exchange(&dist, 3) {
+            let owner = dist.range(t.from_slot);
+            assert_eq!(t.rows.intersect(&owner), t.rows, "sent rows must be owned");
+        }
+    }
+
+    #[test]
+    fn simulated_exchange_costs_time_on_discrete_devices() {
+        let mut e = Engine::noiseless(Machine::four_k40());
+        let dist = Distribution::block(1000, 4);
+        let t = plan_exchange(&dist, 2);
+        let end = simulate_exchange(&mut e, &[0, 1, 2, 3], &t, 8 * 1024, SimTime::ZERO);
+        assert!(end > SimTime::ZERO);
+        assert!(!e.trace().is_empty());
+    }
+
+    #[test]
+    fn simulated_exchange_free_between_host_devices() {
+        let mut e = Engine::noiseless(Machine::two_cpus_two_mics());
+        let dist = Distribution::block(1000, 2);
+        let t = plan_exchange(&dist, 2);
+        // Slots 0,1 are the two CPU sockets: shared memory, no transfer.
+        let end = simulate_exchange(&mut e, &[0, 1], &t, 8 * 1024, SimTime::ZERO);
+        assert_eq!(end, SimTime::ZERO);
+        assert!(e.trace().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any block distribution and width: senders own what they
+        /// send, every non-empty adjacent pair exchanges in both
+        /// directions, and no transfer is empty.
+        #[test]
+        fn exchange_is_symmetric_and_owned(
+            total in 1u64..100_000,
+            n_dev in 1usize..9,
+            w in 1u64..8,
+        ) {
+            let dist = Distribution::block(total, n_dev);
+            let transfers = plan_exchange(&dist, w);
+            let owners: Vec<usize> =
+                (0..n_dev).filter(|&s| !dist.range(s).is_empty()).collect();
+            prop_assert_eq!(
+                transfers.len(),
+                owners.len().saturating_sub(1) * 2,
+                "two transfers per adjacent owner pair"
+            );
+            for t in &transfers {
+                prop_assert!(!t.rows.is_empty());
+                prop_assert!(t.rows.len() <= w);
+                let owned = dist.range(t.from_slot);
+                prop_assert_eq!(t.rows.intersect(&owned), t.rows, "sender owns its rows");
+                // Receiver is the adjacent owner.
+                let fi = owners.iter().position(|&o| o == t.from_slot).unwrap();
+                let ti = owners.iter().position(|&o| o == t.to_slot).unwrap();
+                prop_assert_eq!(fi.abs_diff(ti), 1, "adjacent owners only");
+            }
+            // Symmetry: for each (a -> b) there is a (b -> a).
+            for t in &transfers {
+                prop_assert!(
+                    transfers.iter().any(|u| u.from_slot == t.to_slot
+                        && u.to_slot == t.from_slot),
+                    "missing reverse transfer for {t:?}"
+                );
+            }
+        }
+
+        /// Sent rows are exactly the boundary rows the receiver's ghost
+        /// region needs: within `w` of the receiver's block.
+        #[test]
+        fn sent_rows_border_the_receiver(
+            total in 2u64..50_000,
+            n_dev in 2usize..9,
+            w in 1u64..5,
+        ) {
+            let dist = Distribution::block(total, n_dev);
+            for t in plan_exchange(&dist, w) {
+                let recv = dist.range(t.to_slot);
+                let ghost = recv.dilate(w, total);
+                prop_assert_eq!(
+                    t.rows.intersect(&ghost),
+                    t.rows,
+                    "sent rows must fall in the receiver's ghost region"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Offload region descriptors.
+//!
+//! An [`OffloadRegion`] is the lowered, concrete form of a HOMP
+//! directive pair (the `parallel target … map(…)` data directive plus
+//! the `parallel for distribute dist_schedule(…)` loop directive): every
+//! expression evaluated, every policy resolved to a concrete enum. The
+//! paper's compiler produces the equivalent `homp_offloading_info`
+//! object; here a builder API constructs it directly, and
+//! [`mod@crate::compile`] lowers parsed directives into it.
+
+use crate::sched::Algorithm;
+use homp_lang::{DistPolicy, MapDir};
+use homp_sim::{DeviceId, TeamSched};
+
+/// One mapped array, fully concrete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayMap {
+    /// Source-level variable name; doubles as the alignment-graph node
+    /// name.
+    pub name: String,
+    /// Mapping direction.
+    pub dir: MapDir,
+    /// Extent of each dimension, outermost first.
+    pub dims: Vec<u64>,
+    /// Element size in bytes (8 for the paper's `REAL`).
+    pub elem_bytes: u64,
+    /// Per-dimension distribution policy (must match `dims` length).
+    pub partition: Vec<DistPolicy>,
+    /// Per-dimension halo widths.
+    pub halo: Vec<Option<u64>>,
+}
+
+impl ArrayMap {
+    /// Total bytes of the whole array.
+    pub fn total_bytes(&self) -> u64 {
+        self.dims.iter().product::<u64>() * self.elem_bytes
+    }
+
+    /// Index of the (single) non-FULL dimension, if any. HOMP allows one
+    /// distributed dimension per array in this implementation.
+    pub fn distributed_dim(&self) -> Option<usize> {
+        self.partition.iter().position(|p| !matches!(p, DistPolicy::Full))
+    }
+
+    /// Bytes per index of dimension `dim` (the "row" size): the product
+    /// of all other dimensions times the element size.
+    pub fn slab_bytes(&self, dim: usize) -> u64 {
+        let others: u64 =
+            self.dims.iter().enumerate().filter(|(i, _)| *i != dim).map(|(_, d)| *d).product();
+        others * self.elem_bytes
+    }
+
+    /// Whether the mapping copies data host→device before the region.
+    pub fn copies_in(&self) -> bool {
+        matches!(self.dir, MapDir::To | MapDir::ToFrom)
+    }
+
+    /// Whether the mapping copies data device→host after the region.
+    pub fn copies_out(&self) -> bool {
+        matches!(self.dir, MapDir::From | MapDir::ToFrom)
+    }
+}
+
+/// A lowered offload region.
+#[derive(Debug, Clone)]
+pub struct OffloadRegion {
+    /// Kernel name, used for trace labels.
+    pub name: String,
+    /// Label of the distributed loop (the `ALIGN` target name).
+    pub loop_label: String,
+    /// Outer-loop trip count — the space the distribution divides.
+    pub trip_count: u64,
+    /// Distribution algorithm for the loop.
+    pub algorithm: Algorithm,
+    /// Devices participating (before CUTOFF).
+    pub devices: Vec<DeviceId>,
+    /// Mapped arrays.
+    pub arrays: Vec<ArrayMap>,
+    /// Whether offloading to the targets happens concurrently
+    /// (`parallel target`) or serialized (plain multi-device `target`).
+    pub parallel_offload: bool,
+    /// Loop-level `ALIGN` target when the schedule is
+    /// `dist_schedule(target:[ALIGN(x)])` — the loop copies array `x`'s
+    /// distribution instead of running an algorithm.
+    pub loop_align: Option<(String, u64)>,
+    /// Bytes of scalar firstprivate data broadcast per device (`a`, `n`).
+    pub scalar_bytes: u64,
+    /// Within-device team scheduling (`dist_schedule(teams: …)`).
+    pub team_sched: TeamSched,
+    /// Optional relative cost of iteration `i` (1.0 = uniform). Models
+    /// irregular loops, the motivation for dynamic chunking (§IV-A.2);
+    /// the mean over `[0, trip)` should be ≈1 so intensity stays
+    /// calibrated.
+    pub cost_profile: Option<fn(u64) -> f64>,
+}
+
+impl OffloadRegion {
+    /// Start building a region.
+    pub fn builder(name: impl Into<String>) -> OffloadRegionBuilder {
+        OffloadRegionBuilder {
+            region: OffloadRegion {
+                name: name.into(),
+                loop_label: "loop".into(),
+                trip_count: 0,
+                algorithm: Algorithm::Block,
+                devices: Vec::new(),
+                arrays: Vec::new(),
+                parallel_offload: true,
+                loop_align: None,
+                scalar_bytes: 0,
+                team_sched: TeamSched::Aggregate,
+                cost_profile: None,
+            },
+        }
+    }
+
+    /// Find a mapped array by name.
+    pub fn array(&self, name: &str) -> Option<&ArrayMap> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+}
+
+/// Builder for [`OffloadRegion`].
+#[derive(Debug, Clone)]
+pub struct OffloadRegionBuilder {
+    region: OffloadRegion,
+}
+
+impl OffloadRegionBuilder {
+    /// Set the loop label used as ALIGN target (default `"loop"`).
+    pub fn loop_label(mut self, label: impl Into<String>) -> Self {
+        self.region.loop_label = label.into();
+        self
+    }
+
+    /// Set the outer-loop trip count.
+    pub fn trip_count(mut self, n: u64) -> Self {
+        self.region.trip_count = n;
+        self
+    }
+
+    /// Set the distribution algorithm.
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.region.algorithm = a;
+        self
+    }
+
+    /// Align the loop with a mapped array's distribution
+    /// (`dist_schedule(target:[ALIGN(x)])`).
+    pub fn align_loop_with(mut self, array: impl Into<String>, ratio: u64) -> Self {
+        self.region.loop_align = Some((array.into(), ratio));
+        self
+    }
+
+    /// Set the participating devices.
+    pub fn devices(mut self, d: Vec<DeviceId>) -> Self {
+        self.region.devices = d;
+        self
+    }
+
+    /// Serialized (non-concurrent) offloading to the targets.
+    pub fn serialized_offload(mut self) -> Self {
+        self.region.parallel_offload = false;
+        self
+    }
+
+    /// Add a 1-D mapped array.
+    pub fn map_1d(
+        self,
+        name: impl Into<String>,
+        dir: MapDir,
+        len: u64,
+        elem_bytes: u64,
+        policy: DistPolicy,
+    ) -> Self {
+        self.map_array(ArrayMap {
+            name: name.into(),
+            dir,
+            dims: vec![len],
+            elem_bytes,
+            partition: vec![policy],
+            halo: vec![None],
+        })
+    }
+
+    /// Add a 2-D mapped array with per-dimension policies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn map_2d(
+        self,
+        name: impl Into<String>,
+        dir: MapDir,
+        rows: u64,
+        cols: u64,
+        elem_bytes: u64,
+        row_policy: DistPolicy,
+        col_policy: DistPolicy,
+        halo_rows: Option<u64>,
+    ) -> Self {
+        self.map_array(ArrayMap {
+            name: name.into(),
+            dir,
+            dims: vec![rows, cols],
+            elem_bytes,
+            partition: vec![row_policy, col_policy],
+            halo: vec![halo_rows, None],
+        })
+    }
+
+    /// Add a fully-specified array map.
+    pub fn map_array(mut self, a: ArrayMap) -> Self {
+        assert_eq!(a.dims.len(), a.partition.len(), "one policy per dimension");
+        assert_eq!(a.dims.len(), a.halo.len(), "one halo entry per dimension");
+        self.region.arrays.push(a);
+        self
+    }
+
+    /// Account scalar (firstprivate) bytes broadcast to each device.
+    pub fn scalars(mut self, bytes: u64) -> Self {
+        self.region.scalar_bytes = bytes;
+        self
+    }
+
+    /// Set the within-device team scheduling policy
+    /// (`dist_schedule(teams: …)`).
+    pub fn team_sched(mut self, t: TeamSched) -> Self {
+        self.region.team_sched = t;
+        self
+    }
+
+    /// Give iterations non-uniform cost (see
+    /// [`OffloadRegion::cost_profile`]).
+    pub fn cost_profile(mut self, f: fn(u64) -> f64) -> Self {
+        self.region.cost_profile = Some(f);
+        self
+    }
+
+    /// Finish.
+    ///
+    /// # Panics
+    /// Panics if no devices were set or the trip count is zero.
+    pub fn build(self) -> OffloadRegion {
+        assert!(!self.region.devices.is_empty(), "offload region needs devices");
+        assert!(self.region.trip_count > 0, "offload region needs a trip count");
+        self.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_axpy_v1() {
+        let r = OffloadRegion::builder("axpy")
+            .trip_count(1000)
+            .devices(vec![0, 1, 2, 3])
+            .map_1d("x", MapDir::To, 1000, 8, DistPolicy::Block)
+            .map_1d("y", MapDir::ToFrom, 1000, 8, DistPolicy::Block)
+            .align_loop_with("x", 1)
+            .scalars(16)
+            .build();
+        assert_eq!(r.arrays.len(), 2);
+        assert_eq!(r.array("y").unwrap().dir, MapDir::ToFrom);
+        assert_eq!(r.loop_align, Some(("x".into(), 1)));
+        assert!(r.parallel_offload);
+    }
+
+    #[test]
+    fn array_map_geometry() {
+        let a = ArrayMap {
+            name: "u".into(),
+            dir: MapDir::ToFrom,
+            dims: vec![100, 50],
+            elem_bytes: 8,
+            partition: vec![DistPolicy::Block, DistPolicy::Full],
+            halo: vec![Some(1), None],
+        };
+        assert_eq!(a.total_bytes(), 100 * 50 * 8);
+        assert_eq!(a.distributed_dim(), Some(0));
+        assert_eq!(a.slab_bytes(0), 50 * 8);
+        assert_eq!(a.slab_bytes(1), 100 * 8);
+        assert!(a.copies_in());
+        assert!(a.copies_out());
+    }
+
+    #[test]
+    fn fully_replicated_array_has_no_distributed_dim() {
+        let a = ArrayMap {
+            name: "f".into(),
+            dir: MapDir::To,
+            dims: vec![10, 10],
+            elem_bytes: 8,
+            partition: vec![DistPolicy::Full, DistPolicy::Full],
+            halo: vec![None, None],
+        };
+        assert_eq!(a.distributed_dim(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs devices")]
+    fn build_requires_devices() {
+        OffloadRegion::builder("x").trip_count(10).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "trip count")]
+    fn build_requires_trip_count() {
+        OffloadRegion::builder("x").devices(vec![0]).build();
+    }
+}

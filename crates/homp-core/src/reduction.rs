@@ -1,0 +1,143 @@
+//! Cross-device reductions (`reduction(+:error)` in Fig. 3).
+//!
+//! Each device computes a partial over its chunk; the runtime combines
+//! the partials when the barrier releases. Combination order is fixed
+//! (device order) so results are deterministic run-to-run even though
+//! floating-point addition is not associative.
+
+use homp_lang::ReductionOp;
+
+/// A reduction over `f64` partials.
+#[derive(Debug, Clone, Copy)]
+pub struct Reducer {
+    op: ReductionOp,
+}
+
+impl Reducer {
+    /// Reducer for `op`.
+    pub fn new(op: ReductionOp) -> Self {
+        Self { op }
+    }
+
+    /// The identity element of the operator.
+    pub fn identity(&self) -> f64 {
+        match self.op {
+            ReductionOp::Sum => 0.0,
+            ReductionOp::Prod => 1.0,
+            ReductionOp::Max => f64::NEG_INFINITY,
+            ReductionOp::Min => f64::INFINITY,
+        }
+    }
+
+    /// Combine two values.
+    pub fn combine(&self, a: f64, b: f64) -> f64 {
+        match self.op {
+            ReductionOp::Sum => a + b,
+            ReductionOp::Prod => a * b,
+            ReductionOp::Max => a.max(b),
+            ReductionOp::Min => a.min(b),
+        }
+    }
+
+    /// Fold a slice of per-device partials in device order.
+    pub fn reduce(&self, partials: &[f64]) -> f64 {
+        partials.iter().fold(self.identity(), |acc, &v| self.combine(acc, v))
+    }
+}
+
+/// Accumulator a device uses while executing its chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct Partial {
+    reducer: Reducer,
+    value: f64,
+}
+
+impl Partial {
+    /// Fresh accumulator at the identity.
+    pub fn new(op: ReductionOp) -> Self {
+        let reducer = Reducer::new(op);
+        Self { reducer, value: reducer.identity() }
+    }
+
+    /// Fold one element in.
+    pub fn accumulate(&mut self, v: f64) {
+        self.value = self.reducer.combine(self.value, v);
+    }
+
+    /// Current partial value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(Reducer::new(ReductionOp::Sum).reduce(&[]), 0.0);
+        assert_eq!(Reducer::new(ReductionOp::Prod).reduce(&[]), 1.0);
+        assert_eq!(Reducer::new(ReductionOp::Max).reduce(&[]), f64::NEG_INFINITY);
+        assert_eq!(Reducer::new(ReductionOp::Min).reduce(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn sum_prod_max_min() {
+        let v = [3.0, -1.0, 4.0, 1.5];
+        assert_eq!(Reducer::new(ReductionOp::Sum).reduce(&v), 7.5);
+        assert_eq!(Reducer::new(ReductionOp::Prod).reduce(&v), -18.0);
+        assert_eq!(Reducer::new(ReductionOp::Max).reduce(&v), 4.0);
+        assert_eq!(Reducer::new(ReductionOp::Min).reduce(&v), -1.0);
+    }
+
+    #[test]
+    fn partial_accumulates() {
+        let mut p = Partial::new(ReductionOp::Sum);
+        for i in 1..=10 {
+            p.accumulate(i as f64);
+        }
+        assert_eq!(p.value(), 55.0);
+    }
+
+    #[test]
+    fn partial_max_starts_at_identity() {
+        let mut p = Partial::new(ReductionOp::Max);
+        p.accumulate(-100.0);
+        assert_eq!(p.value(), -100.0);
+    }
+
+    proptest! {
+        /// Splitting a sum across devices and reducing the partials
+        /// matches the sequential sum up to floating tolerance.
+        #[test]
+        fn distributed_sum_matches_sequential(
+            values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            splits in 1usize..8,
+        ) {
+            let seq: f64 = values.iter().sum();
+            let chunk = values.len().div_ceil(splits);
+            let partials: Vec<f64> =
+                values.chunks(chunk).map(|c| c.iter().sum()).collect();
+            let dist = Reducer::new(ReductionOp::Sum).reduce(&partials);
+            let tol = 1e-9 * values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+            prop_assert!((seq - dist).abs() <= tol);
+        }
+
+        /// Max/min are exactly split-invariant.
+        #[test]
+        fn distributed_minmax_exact(
+            values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            splits in 1usize..8,
+        ) {
+            let chunk = values.len().div_ceil(splits);
+            for op in [ReductionOp::Max, ReductionOp::Min] {
+                let r = Reducer::new(op);
+                let partials: Vec<f64> =
+                    values.chunks(chunk).map(|c| r.reduce(c)).collect();
+                prop_assert_eq!(r.reduce(&partials), r.reduce(&values));
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Iteration ranges and spaces.
+//!
+//! A parallel loop's iteration space is the half-open interval
+//! `[0, trip_count)` over the *outer* loop index; `collapse(k)` and inner
+//! loops are folded into the per-iteration work multiplier carried by the
+//! kernel's intensity descriptor. Distributions assign each device a
+//! [`Range`] of this space.
+
+/// Half-open range `[start, end)` of loop iterations or array indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Range {
+    /// First index.
+    pub start: u64,
+    /// One past the last index.
+    pub end: u64,
+}
+
+impl Range {
+    /// Construct; `end < start` is normalized to the empty range at
+    /// `start`.
+    pub fn new(start: u64, end: u64) -> Self {
+        Self { start, end: end.max(start) }
+    }
+
+    /// The empty range at zero.
+    pub const EMPTY: Range = Range { start: 0, end: 0 };
+
+    /// Number of indices.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range holds no indices.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `i` falls inside.
+    pub fn contains(&self, i: u64) -> bool {
+        self.start <= i && i < self.end
+    }
+
+    /// Intersection (empty if disjoint).
+    pub fn intersect(&self, other: &Range) -> Range {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        Range::new(s, e)
+    }
+
+    /// Whether the ranges share at least one index.
+    pub fn overlaps(&self, other: &Range) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Take the first `n` indices as a new range, advancing `self`.
+    pub fn take(&mut self, n: u64) -> Range {
+        let n = n.min(self.len());
+        let r = Range::new(self.start, self.start + n);
+        self.start += n;
+        r
+    }
+
+    /// Grow by `w` on both sides, clamped to `[0, bound)` — the halo
+    /// region of a block.
+    pub fn dilate(&self, w: u64, bound: u64) -> Range {
+        Range::new(self.start.saturating_sub(w), (self.end + w).min(bound))
+    }
+
+    /// Scale both endpoints by `ratio` (ALIGN with ratio ≠ 1).
+    pub fn scale(&self, ratio: u64) -> Range {
+        Range::new(self.start * ratio, self.end * ratio)
+    }
+}
+
+impl std::fmt::Display for Range {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Check that `ranges` exactly partition `[0, total)`: pairwise disjoint
+/// and covering. Empty ranges are allowed anywhere.
+pub fn is_partition(ranges: &[Range], total: u64) -> bool {
+    let mut sorted: Vec<Range> = ranges.iter().copied().filter(|r| !r.is_empty()).collect();
+    sorted.sort_by_key(|r| r.start);
+    let mut cursor = 0u64;
+    for r in &sorted {
+        if r.start != cursor {
+            return false;
+        }
+        cursor = r.end;
+    }
+    cursor == total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basics() {
+        let r = Range::new(3, 10);
+        assert_eq!(r.len(), 7);
+        assert!(r.contains(3));
+        assert!(!r.contains(10));
+        assert!(!r.is_empty());
+        assert!(Range::new(5, 5).is_empty());
+    }
+
+    #[test]
+    fn normalizes_inverted() {
+        let r = Range::new(10, 3);
+        assert!(r.is_empty());
+        assert_eq!(r.start, 10);
+    }
+
+    #[test]
+    fn intersect_and_overlap() {
+        let a = Range::new(0, 10);
+        let b = Range::new(5, 15);
+        assert_eq!(a.intersect(&b), Range::new(5, 10));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&Range::new(10, 20)), "half-open: touching is disjoint");
+    }
+
+    #[test]
+    fn take_consumes_front() {
+        let mut r = Range::new(0, 10);
+        assert_eq!(r.take(4), Range::new(0, 4));
+        assert_eq!(r.take(100), Range::new(4, 10));
+        assert!(r.is_empty());
+        assert_eq!(r.take(5), Range::EMPTY.scale(1).intersect(&Range::new(10, 10)));
+    }
+
+    #[test]
+    fn dilate_clamps() {
+        let r = Range::new(0, 4);
+        assert_eq!(r.dilate(2, 10), Range::new(0, 6));
+        assert_eq!(Range::new(4, 8).dilate(2, 10), Range::new(2, 10));
+    }
+
+    #[test]
+    fn partition_checks() {
+        assert!(is_partition(&[Range::new(0, 3), Range::new(3, 9)], 9));
+        assert!(is_partition(&[Range::new(3, 9), Range::new(0, 3), Range::EMPTY], 9));
+        assert!(!is_partition(&[Range::new(0, 3), Range::new(4, 9)], 9), "gap");
+        assert!(!is_partition(&[Range::new(0, 5), Range::new(3, 9)], 9), "overlap");
+        assert!(!is_partition(&[Range::new(0, 9)], 10), "short");
+        assert!(is_partition(&[], 0));
+    }
+
+    proptest! {
+        #[test]
+        fn take_preserves_total(mut lens in proptest::collection::vec(0u64..1000, 1..20)) {
+            let total: u64 = lens.iter().sum();
+            let mut r = Range::new(0, total);
+            let mut parts = Vec::new();
+            for l in lens.drain(..) {
+                parts.push(r.take(l));
+            }
+            prop_assert!(r.is_empty());
+            prop_assert!(is_partition(&parts, total));
+        }
+    }
+}

@@ -1,0 +1,1069 @@
+//! The HOMP runtime: per-device proxy execution of offload regions.
+//!
+//! Mirrors Section V and Figure 4: each device has a proxy that performs
+//! array/loop distribution, memory allocation, data movement, kernel
+//! launch and book-keeping. Here the proxies are agents over the
+//! deterministic simulator — every data transfer, launch and kernel
+//! execution is priced by `homp-sim`, while the kernel's *real* Rust
+//! implementation runs for every chunk so numerical results can be
+//! checked. Completion ordering (who grabs the next dynamic chunk) is
+//! decided on the virtual clock exactly as pthread proxies would decide
+//! it on the wall clock.
+//!
+//! Scheduling decisions use the *datasheet* machine constants by
+//! default ("use peak performance as guideline", §VI-B) — not the
+//! simulator's sustained ground truth — so model error and load
+//! imbalance arise naturally; [`Runtime::with_profiled_params`] switches
+//! to microbenchmark-measured constants for the `ablation_constants`
+//! study.
+
+use crate::map::{DataPlan, PlanError};
+use crate::offload::OffloadRegion;
+use crate::region::Range;
+use crate::sched::chunking::{ChunkPolicy, ChunkQueue, DynamicChunks, GuidedChunks};
+use crate::sched::model_sched::{model1_plan, model2_plan, throughput_plan, ModelPlan};
+use crate::sched::profile_sched::{const_sample_counts, measured_throughput, model_sample_counts};
+use crate::sched::{block, Algorithm};
+use homp_model::heuristics::{classify, select_algorithm, ClassThresholds};
+use homp_model::{DeviceParams, KernelIntensity};
+use homp_sim::{
+    profile_machine, ChunkWork, DeviceId, Dir, Engine, Machine, NoiseModel, SimSpan, SimTime,
+    Trace,
+};
+use std::collections::BinaryHeap;
+
+/// A loop kernel the runtime can distribute: a per-outer-iteration cost
+/// descriptor plus the real computation.
+pub trait LoopKernel {
+    /// Per-outer-iteration intensity (inner loops folded in).
+    fn intensity(&self) -> KernelIntensity;
+    /// Execute iterations `[range.start, range.end)` on the host-side
+    /// data. Called exactly once per iteration across all devices.
+    fn execute(&mut self, range: Range);
+}
+
+/// A kernel defined by a closure plus a fixed intensity — convenient for
+/// tests and examples.
+pub struct FnKernel<F: FnMut(Range)> {
+    intensity: KernelIntensity,
+    f: F,
+}
+
+impl<F: FnMut(Range)> FnKernel<F> {
+    /// Build from parts.
+    pub fn new(intensity: KernelIntensity, f: F) -> Self {
+        Self { intensity, f }
+    }
+}
+
+impl<F: FnMut(Range)> LoopKernel for FnKernel<F> {
+    fn intensity(&self) -> KernelIntensity {
+        self.intensity
+    }
+    fn execute(&mut self, range: Range) {
+        (self.f)(range)
+    }
+}
+
+/// Build the simulator work unit for a chunk, applying the region's
+/// iteration-cost profile (§IV-A.2's irregular loops): the chunk weight
+/// is the profile sampled at the chunk midpoint, exact for the linear
+/// profiles the benches use and a good approximation otherwise.
+fn chunk_work<'a>(
+    region: &OffloadRegion,
+    range: Range,
+    intensity: &'a KernelIntensity,
+) -> ChunkWork<'a> {
+    let w = ChunkWork::new(range.len(), intensity);
+    match region.cost_profile {
+        Some(f) => w.weighted(f((range.start + range.end) / 2)),
+        None => w,
+    }
+}
+
+/// Error from [`Runtime::offload`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OffloadError {
+    /// Data-plan construction failed.
+    Plan(PlanError),
+    /// A device ID in the region does not exist on the machine.
+    UnknownDevice(DeviceId),
+    /// A device's mapped footprint exceeds its memory capacity
+    /// (Section V-C: the runtime performs memory allocation per device).
+    OutOfDeviceMemory {
+        /// The device that cannot hold its mapping.
+        device: DeviceId,
+        /// Bytes the mapping needs.
+        required: u64,
+        /// Bytes the device has.
+        capacity: u64,
+    },
+}
+
+impl From<PlanError> for OffloadError {
+    fn from(e: PlanError) -> Self {
+        OffloadError::Plan(e)
+    }
+}
+
+impl std::fmt::Display for OffloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OffloadError::Plan(e) => write!(f, "{e}"),
+            OffloadError::UnknownDevice(d) => write!(f, "unknown device id {d}"),
+            OffloadError::OutOfDeviceMemory { device, required, capacity } => write!(
+                f,
+                "device {device} cannot hold its mapping: needs {required} bytes, has {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OffloadError {}
+
+/// Result of one offload.
+#[derive(Debug, Clone)]
+pub struct OffloadReport {
+    /// The algorithm that actually ran (AUTO resolved to a concrete one).
+    pub algorithm: Algorithm,
+    /// Virtual time from region start to the end barrier.
+    pub makespan: SimSpan,
+    /// Participating devices, in slot order.
+    pub devices: Vec<DeviceId>,
+    /// Iterations executed per slot.
+    pub counts: Vec<u64>,
+    /// Devices that survived CUTOFF (equals `devices` when no cutoff or
+    /// for chunk algorithms).
+    pub kept_devices: Vec<DeviceId>,
+    /// Number of chunks scheduled in total.
+    pub chunks: u64,
+    /// The paper's load-imbalance metric (Fig. 6 curve), percent.
+    pub imbalance_pct: f64,
+    /// Full operation trace (for Fig. 6 breakdowns and Gantt charts).
+    pub trace: Trace,
+}
+
+impl OffloadReport {
+    /// Offload execution time in milliseconds (the y-axis of Figs 5/8/9).
+    pub fn time_ms(&self) -> f64 {
+        self.makespan.as_millis()
+    }
+}
+
+/// The runtime: a simulated machine plus profiled device parameters.
+pub struct Runtime {
+    engine: Engine,
+    params: Vec<DeviceParams>,
+}
+
+impl Runtime {
+    /// Default noise amplitude per operation (±6%: DVFS, ECC scrubbing
+    /// and OS noise on 2015-era accelerators; Fig. 6's <5% average
+    /// imbalance emerges from this).
+    pub const DEFAULT_NOISE: f64 = 0.06;
+
+    /// Runtime over `machine`, with default noise seeded by `seed`.
+    pub fn new(machine: Machine, seed: u64) -> Self {
+        Self::with_noise(machine, NoiseModel::new(seed, Self::DEFAULT_NOISE))
+    }
+
+    /// Runtime with an explicit noise model. Models receive the
+    /// *datasheet* machine constants, as the paper's runtime does ("use
+    /// peak performance as guideline") — the datasheet-vs-sustained gap
+    /// is what makes CUTOFF earn its keep.
+    pub fn with_noise(machine: Machine, noise: NoiseModel) -> Self {
+        let params = machine.datasheet_params();
+        let engine = Engine::new(machine, noise);
+        Self { engine, params }
+    }
+
+    /// Runtime whose models receive *microbenchmark-profiled* constants
+    /// instead of datasheet ones — the `ablation_constants` bench shows
+    /// this largely removes the need for CUTOFF.
+    pub fn with_profiled_params(machine: Machine, seed: u64) -> Self {
+        let engine = Engine::new(machine, NoiseModel::new(seed, Self::DEFAULT_NOISE));
+        let params = profile_machine(&engine);
+        Self { engine, params }
+    }
+
+    /// Noiseless runtime (exactness tests, ablations).
+    pub fn noiseless(machine: Machine) -> Self {
+        Self::with_noise(machine, NoiseModel::disabled())
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        self.engine.machine()
+    }
+
+    /// The machine constants the models see (datasheet by default,
+    /// measured under [`Runtime::with_profiled_params`]), indexed by
+    /// device ID.
+    pub fn params(&self) -> &[DeviceParams] {
+        &self.params
+    }
+
+    /// Toggle DMA/compute overlap (ablation).
+    pub fn set_overlap(&mut self, overlap: bool) {
+        self.engine.overlap = overlap;
+    }
+
+    /// Resolve `AUTO` to a concrete algorithm per the §VI-D heuristics.
+    pub fn resolve_auto(
+        &self,
+        algorithm: Algorithm,
+        intensity: &KernelIntensity,
+        devices: &[DeviceId],
+    ) -> Algorithm {
+        match algorithm {
+            Algorithm::Auto { cutoff } => {
+                let homogeneous = {
+                    let m = self.machine();
+                    devices.windows(2).all(|w| {
+                        let a = &m.devices[w[0] as usize];
+                        let b = &m.devices[w[1] as usize];
+                        a.dev_type == b.dev_type
+                            && (a.sustained_flops() - b.sustained_flops()).abs()
+                                < 1e-6 * a.sustained_flops()
+                    })
+                };
+                let class = classify(intensity, &ClassThresholds::default());
+                let choice = select_algorithm(class, homogeneous);
+                use homp_model::heuristics::AlgorithmChoice as C;
+                let concrete = match choice {
+                    C::Block => Algorithm::Block,
+                    C::SchedDynamic => Algorithm::Dynamic { chunk_pct: 2.0 },
+                    C::SchedGuided => Algorithm::Guided { chunk_pct: 20.0 },
+                    C::Model1Auto => Algorithm::Model1 { cutoff: None },
+                    C::Model2Auto => Algorithm::Model2 { cutoff: None },
+                    C::SchedProfileAuto => {
+                        Algorithm::ProfileConst { sample_pct: 10.0, cutoff: None }
+                    }
+                    C::ModelProfileAuto => {
+                        Algorithm::ProfileModel { sample_pct: 10.0, cutoff: None }
+                    }
+                };
+                match cutoff {
+                    Some(c) => concrete.with_cutoff(c),
+                    None => concrete,
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Price a halo exchange for a 1-D distribution across `slots`
+    /// (ghost width `width`, `slab_bytes` per row): plans the pairwise
+    /// sends and simulates them, returning the exchange's virtual
+    /// duration. Used between offloads of an iterative app (Fig. 3's
+    /// `#pragma omp halo_exchange (uold)`).
+    pub fn exchange_halo(
+        &mut self,
+        slots: &[DeviceId],
+        dist: &crate::dist::Distribution,
+        width: u64,
+        slab_bytes: u64,
+    ) -> SimSpan {
+        self.engine.reset();
+        let transfers = crate::halo::plan_exchange(dist, width);
+        let end = crate::halo::simulate_exchange(
+            &mut self.engine,
+            slots,
+            &transfers,
+            slab_bytes,
+            SimTime::ZERO,
+        );
+        end - SimTime::ZERO
+    }
+
+    /// Check that every discrete device in `slots` can hold its fixed
+    /// mappings plus `uniform_iters` aligned iterations (or its entry in
+    /// `per_slot` counts when given).
+    fn check_capacity(
+        &self,
+        slots: &[DeviceId],
+        plan: &DataPlan,
+        uniform_iters: u64,
+        per_slot: Option<&[u64]>,
+    ) -> Result<(), OffloadError> {
+        for (s, &dev) in slots.iter().enumerate() {
+            let d = &self.engine.machine().devices[dev as usize];
+            if !d.needs_copy() {
+                continue;
+            }
+            let iters = per_slot.map(|c| c[s]).unwrap_or(uniform_iters);
+            let required = plan.alloc_bytes(s, iters);
+            if required > d.mem_capacity {
+                return Err(OffloadError::OutOfDeviceMemory {
+                    device: dev,
+                    required,
+                    capacity: d.mem_capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Offload with history-based prediction (the Qilin-style extension,
+    /// see [`crate::history`]): when `db` has measured throughput for
+    /// this kernel on every participating device, the loop is
+    /// distributed proportionally to the *learned* rates (honouring the
+    /// region algorithm's CUTOFF ratio); otherwise the configured
+    /// algorithm runs. Either way the offload's measured per-device
+    /// kernel throughputs are recorded back into `db`, so the second
+    /// offload of a kernel is already history-driven.
+    pub fn offload_learned(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+        db: &mut crate::history::HistoryDb,
+    ) -> Result<OffloadReport, OffloadError> {
+        let slots = region.devices.clone();
+        let report = if db.covers(&region.name, &slots) {
+            let per_dev_guess = region.trip_count / slots.len().max(1) as u64;
+            let rates: Vec<f64> = slots
+                .iter()
+                .map(|&d| db.predicted_rate(&region.name, d, per_dev_guess).unwrap_or(0.0))
+                .collect();
+            let mut learned = region.clone();
+            learned.algorithm = Algorithm::Block; // placeholder; counts below
+            // Reuse the throughput planner (stage 2 of the profiling
+            // algorithms) over learned rates.
+            let plan = throughput_plan(&rates, region.trip_count, region.algorithm.cutoff());
+            let plan_counts = plan.counts.clone();
+            let data = DataPlan::new(region, slots.len())?;
+            self.check_capacity(&slots, &data, 0, Some(&plan_counts))?;
+            self.engine.reset();
+            let mut base_ready = vec![SimTime::ZERO; slots.len()];
+            self.run_static(
+                &learned,
+                kernel,
+                &data,
+                &plan_counts,
+                &slots,
+                &mut base_ready,
+                false,
+                region.algorithm,
+                Some(&plan),
+            )
+        } else {
+            self.offload(region, kernel)?
+        };
+        // Learn from what just happened. A device processing a stream of
+        // chunks is a pipeline of three resources (upload, compute,
+        // download); its sustainable throughput is bounded by the
+        // *busiest* of them, so that is the time we learn from.
+        let breakdown = report.trace.breakdown(self.engine.n_devices());
+        for (s, &dev) in report.devices.iter().enumerate() {
+            let busy = breakdown
+                .busy(dev, homp_sim::OpKind::Kernel)
+                .max(breakdown.busy(dev, homp_sim::OpKind::H2D))
+                .max(breakdown.busy(dev, homp_sim::OpKind::D2H))
+                .as_secs();
+            db.record(&region.name, dev, report.counts[s], busy);
+        }
+        Ok(report)
+    }
+
+    /// Offload a region, mapping all data (the non-resident case).
+    pub fn offload(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+    ) -> Result<OffloadReport, OffloadError> {
+        self.offload_with(region, kernel, false)
+    }
+
+    /// Offload with `data_resident = true` to skip the fixed (replicated
+    /// / independent) transfers — the `target data` region of Fig. 3 has
+    /// already mapped them.
+    pub fn offload_with(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+        data_resident: bool,
+    ) -> Result<OffloadReport, OffloadError> {
+        let slots: &[DeviceId] = &region.devices;
+        for &d in slots {
+            if d as usize >= self.engine.n_devices() {
+                return Err(OffloadError::UnknownDevice(d));
+            }
+        }
+        let n = slots.len();
+        let plan = DataPlan::new(region, n)?;
+        let intensity = kernel.intensity();
+        let algorithm = self.resolve_auto(region.algorithm, &intensity, slots);
+
+        // Memory-capacity pre-check for chunked plans (Section V-C):
+        // fixed mappings plus two in-flight chunks (double buffering).
+        // Static and profiled plans are checked against their actual
+        // per-device counts once those are known.
+        match algorithm {
+            Algorithm::Dynamic { chunk_pct } => {
+                let c = DynamicChunks::from_pct(region.trip_count, chunk_pct).chunk;
+                self.check_capacity(slots, &plan, (2 * c).min(region.trip_count), None)?;
+            }
+            Algorithm::Guided { chunk_pct } => {
+                let g = GuidedChunks::from_pct(region.trip_count, chunk_pct);
+                self.check_capacity(
+                    slots,
+                    &plan,
+                    (2 * g.first_chunk).min(region.trip_count),
+                    None,
+                )?;
+            }
+            _ => {}
+        }
+
+        self.engine.reset();
+
+        // Serialized offload (plain multi-device `target` without
+        // `parallel`): proxy i may only start once proxy i-1 has issued
+        // its launch + fixed transfer.
+        let mut base_ready = vec![SimTime::ZERO; n];
+
+        let slot_params: Vec<DeviceParams> =
+            slots.iter().map(|&d| self.params[d as usize]).collect();
+
+        let report = match algorithm {
+            Algorithm::Block => {
+                let counts = block::block_counts(region.trip_count, n);
+                self.check_capacity(slots, &plan, 0, Some(&counts))?;
+                self.run_static(
+                    region, kernel, &plan, &counts, slots, &mut base_ready, data_resident,
+                    algorithm, None,
+                )
+            }
+            Algorithm::Model1 { cutoff } => {
+                let mp = model1_plan(&slot_params, &intensity, region.trip_count, cutoff);
+                self.check_capacity(slots, &plan, 0, Some(&mp.counts))?;
+                self.run_static(
+                    region, kernel, &plan, &mp.counts, slots, &mut base_ready, data_resident,
+                    algorithm, Some(&mp),
+                )
+            }
+            Algorithm::Model2 { cutoff } => {
+                let mp = model2_plan(&slot_params, &intensity, region.trip_count, cutoff);
+                self.check_capacity(slots, &plan, 0, Some(&mp.counts))?;
+                self.run_static(
+                    region, kernel, &plan, &mp.counts, slots, &mut base_ready, data_resident,
+                    algorithm, Some(&mp),
+                )
+            }
+            Algorithm::Dynamic { chunk_pct } => {
+                let policy = DynamicChunks::from_pct(region.trip_count, chunk_pct);
+                self.run_chunked(
+                    region, kernel, &plan, &policy, slots, data_resident, algorithm,
+                )
+            }
+            Algorithm::Guided { chunk_pct } => {
+                let policy = GuidedChunks::from_pct(region.trip_count, chunk_pct);
+                self.run_chunked(
+                    region, kernel, &plan, &policy, slots, data_resident, algorithm,
+                )
+            }
+            Algorithm::ProfileConst { sample_pct, cutoff } => {
+                let samples = const_sample_counts(region.trip_count, n, sample_pct);
+                self.check_capacity(slots, &plan, region.trip_count / n as u64, None)?;
+                self.run_profiled(
+                    region, kernel, &plan, &samples, cutoff, slots, data_resident, algorithm,
+                )
+            }
+            Algorithm::ProfileModel { sample_pct, cutoff } => {
+                let samples = model_sample_counts(
+                    &slot_params,
+                    &intensity,
+                    region.trip_count,
+                    sample_pct,
+                );
+                self.check_capacity(slots, &plan, region.trip_count / n as u64, None)?;
+                self.run_profiled(
+                    region, kernel, &plan, &samples, cutoff, slots, data_resident, algorithm,
+                )
+            }
+            Algorithm::Auto { .. } => unreachable!("AUTO resolved above"),
+        };
+        Ok(report)
+    }
+
+    /// Single-stage static distribution: one launch, one in-transfer, one
+    /// kernel, one out-transfer per device.
+    #[allow(clippy::too_many_arguments)]
+    fn run_static(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+        plan: &DataPlan,
+        counts: &[u64],
+        slots: &[DeviceId],
+        base_ready: &mut [SimTime],
+        data_resident: bool,
+        algorithm: Algorithm,
+        model: Option<&ModelPlan>,
+    ) -> OffloadReport {
+        let intensity = kernel.intensity();
+        let n = slots.len();
+        let mut completions = vec![SimTime::ZERO; n];
+        let mut serial_cursor = SimTime::ZERO;
+        let mut range = Range::new(0, region.trip_count);
+        let mut chunks = 0u64;
+
+        for (s, &dev) in slots.iter().enumerate() {
+            let my = range.take(counts[s]);
+            if !region.parallel_offload {
+                base_ready[s] = serial_cursor;
+            }
+            if my.is_empty() {
+                completions[s] = base_ready[s];
+                continue;
+            }
+            chunks += 1;
+            let launched = self.engine.launch(dev, base_ready[s], &region.name);
+            let h2d_bytes = if data_resident {
+                plan.h2d_chunk_bytes(my.len())
+            } else {
+                plan.h2d_bytes(s, my.len())
+            };
+            let in_done = self.engine.transfer(dev, h2d_bytes, Dir::H2D, launched, "map-in");
+            if !region.parallel_offload {
+                serial_cursor = in_done;
+            }
+            let comp_done = self.engine.compute_teams(
+                dev,
+                &chunk_work(region, my, &intensity),
+                in_done,
+                &region.name,
+                region.team_sched,
+            );
+            kernel.execute(my);
+            let out_done = self.engine.transfer(
+                dev,
+                plan.d2h_bytes(s, my.len()),
+                Dir::D2H,
+                comp_done,
+                "map-out",
+            );
+            completions[s] = out_done;
+        }
+        debug_assert!(range.is_empty(), "static plan must cover the loop");
+        self.finish(region, slots, counts.to_vec(), &completions, algorithm, model, chunks)
+    }
+
+    /// Multi-stage chunk scheduling with transfer/compute overlap:
+    /// proxies grab chunks from the shared queue at their virtual-time
+    /// availability, double-buffering one transfer ahead.
+    #[allow(clippy::too_many_arguments)]
+    fn run_chunked(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+        plan: &DataPlan,
+        policy: &dyn ChunkPolicy,
+        slots: &[DeviceId],
+        data_resident: bool,
+        algorithm: Algorithm,
+    ) -> OffloadReport {
+        let intensity = kernel.intensity();
+        let n = slots.len();
+        let mut queue = ChunkQueue::new(region.trip_count, n);
+        let mut counts = vec![0u64; n];
+        let mut completions = vec![SimTime::ZERO; n];
+        let mut prev_comp_end = vec![SimTime::ZERO; n];
+
+        // Min-heap of (next grab time, slot); BinaryHeap is a max-heap so
+        // order by Reverse.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(SimTime, usize)>> = BinaryHeap::new();
+
+        // Fixed transfers first (unless the data region already mapped
+        // them), serialized per the non-parallel option.
+        let mut serial_cursor = SimTime::ZERO;
+        for (s, &dev) in slots.iter().enumerate() {
+            let base = if region.parallel_offload { SimTime::ZERO } else { serial_cursor };
+            let launched = self.engine.launch(dev, base, &region.name);
+            let ready = if data_resident {
+                launched
+            } else {
+                self.engine.transfer(
+                    dev,
+                    plan.h2d_fixed_bytes(s),
+                    Dir::H2D,
+                    launched,
+                    "map-in-fixed",
+                )
+            };
+            if !region.parallel_offload {
+                serial_cursor = ready;
+            }
+            completions[s] = ready;
+            heap.push(std::cmp::Reverse((ready, s)));
+        }
+
+        while let Some(std::cmp::Reverse((grab_at, s))) = heap.pop() {
+            let Some(chunk) = queue.grab(policy) else { break };
+            let dev = slots[s];
+            counts[s] += chunk.len();
+            let in_done = self.engine.transfer(
+                dev,
+                plan.h2d_chunk_bytes(chunk.len()),
+                Dir::H2D,
+                grab_at,
+                "chunk-in",
+            );
+            let launched = self.engine.launch(dev, in_done, "chunk-launch");
+            let comp_done = self.engine.compute_teams(
+                dev,
+                &chunk_work(region, chunk, &intensity),
+                launched,
+                &region.name,
+                region.team_sched,
+            );
+            kernel.execute(chunk);
+            let out_done = self.engine.transfer(
+                dev,
+                plan.d2h_chunk_bytes(chunk.len()),
+                Dir::D2H,
+                comp_done,
+                "chunk-out",
+            );
+            completions[s] = out_done;
+            // Grab the next chunk once this transfer is in *and* the
+            // previous compute has started draining — depth-1 prefetch.
+            let next_grab = in_done.max(prev_comp_end[s]);
+            prev_comp_end[s] = comp_done;
+            heap.push(std::cmp::Reverse((next_grab, s)));
+        }
+
+        // Final fixed out-transfers (replicated/independent `from` data).
+        if !data_resident {
+            for (s, &dev) in slots.iter().enumerate() {
+                let b = plan.d2h_fixed_bytes(s);
+                if b > 0 {
+                    completions[s] =
+                        self.engine.transfer(dev, b, Dir::D2H, completions[s], "map-out-fixed");
+                }
+            }
+        }
+        let chunks = queue.chunks_handed();
+        self.finish(region, slots, counts, &completions, algorithm, None, chunks)
+    }
+
+    /// Two-stage profiling: sample, broadcast throughputs, distribute the
+    /// remainder.
+    #[allow(clippy::too_many_arguments)]
+    fn run_profiled(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+        plan: &DataPlan,
+        samples: &[u64],
+        cutoff: Option<f64>,
+        slots: &[DeviceId],
+        data_resident: bool,
+        algorithm: Algorithm,
+    ) -> OffloadReport {
+        let intensity = kernel.intensity();
+        let n = slots.len();
+        let mut range = Range::new(0, region.trip_count);
+        let mut counts = vec![0u64; n];
+        let mut throughputs = vec![0.0f64; n];
+        let mut stage1_end = vec![SimTime::ZERO; n];
+        let mut chunks = 0u64;
+
+        // ---- stage 1: sample. -------------------------------------------
+        let mut serial_cursor = SimTime::ZERO;
+        for (s, &dev) in slots.iter().enumerate() {
+            let my = range.take(samples[s]);
+            counts[s] += my.len();
+            let base = if region.parallel_offload { SimTime::ZERO } else { serial_cursor };
+            let launched = self.engine.launch(dev, base, &region.name);
+            let fixed = if data_resident { 0 } else { plan.h2d_fixed_bytes(s) };
+            let in_fixed =
+                self.engine.transfer(dev, fixed, Dir::H2D, launched, "map-in-fixed");
+            if !region.parallel_offload {
+                serial_cursor = in_fixed;
+            }
+            if my.is_empty() {
+                stage1_end[s] = in_fixed;
+                continue;
+            }
+            chunks += 1;
+            let in_done = self.engine.transfer(
+                dev,
+                plan.h2d_chunk_bytes(my.len()),
+                Dir::H2D,
+                in_fixed,
+                "sample-in",
+            );
+            let comp_done = self.engine.compute_teams(
+                dev,
+                &chunk_work(region, my, &intensity),
+                in_done,
+                &region.name,
+                region.team_sched,
+            );
+            kernel.execute(my);
+            throughputs[s] = measured_throughput(my.len(), (comp_done - in_done).as_secs());
+            // The sample's out-data drains with the stage-2 data; record
+            // stage-1 end as the compute completion.
+            stage1_end[s] = comp_done;
+        }
+
+        // ---- broadcast: all proxies learn all throughputs. ---------------
+        let barrier = self.engine.barrier(slots, &stage1_end);
+
+        // ---- stage 2: distribute the remainder by measured rate. ---------
+        let remaining = range.len();
+        let mp = throughput_plan(&throughputs, remaining, cutoff);
+        let mut completions = vec![barrier; n];
+        for (s, &dev) in slots.iter().enumerate() {
+            let my = range.take(mp.counts[s]);
+            // Drain the sample's out-bytes even when stage 2 assigns
+            // nothing new.
+            let d2h_total = plan.d2h_chunk_bytes(counts[s] + my.len())
+                + if data_resident { 0 } else { plan.d2h_fixed_bytes(s) };
+            if my.is_empty() {
+                if d2h_total > 0 && counts[s] > 0 {
+                    completions[s] =
+                        self.engine.transfer(dev, d2h_total, Dir::D2H, barrier, "map-out");
+                }
+                continue;
+            }
+            chunks += 1;
+            counts[s] += my.len();
+            let in_done = self.engine.transfer(
+                dev,
+                plan.h2d_chunk_bytes(my.len()),
+                Dir::H2D,
+                barrier,
+                "stage2-in",
+            );
+            let launched = self.engine.launch(dev, in_done, "stage2-launch");
+            let comp_done = self.engine.compute_teams(
+                dev,
+                &chunk_work(region, my, &intensity),
+                launched,
+                &region.name,
+                region.team_sched,
+            );
+            kernel.execute(my);
+            completions[s] =
+                self.engine.transfer(dev, d2h_total, Dir::D2H, comp_done, "map-out");
+        }
+        debug_assert!(range.is_empty(), "profiled plan must cover the loop");
+        self.finish(region, slots, counts, &completions, algorithm, Some(&mp), chunks)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &mut self,
+        _region: &OffloadRegion,
+        slots: &[DeviceId],
+        counts: Vec<u64>,
+        completions: &[SimTime],
+        algorithm: Algorithm,
+        model: Option<&ModelPlan>,
+        chunks: u64,
+    ) -> OffloadReport {
+        let release = self.engine.barrier(slots, completions);
+        let trace = self.engine.take_trace();
+        let breakdown = trace.breakdown(self.engine.n_devices());
+        let kept_devices = match model {
+            Some(mp) => mp.kept.iter().map(|&i| slots[i]).collect(),
+            None => slots.to_vec(),
+        };
+        OffloadReport {
+            algorithm,
+            makespan: release - SimTime::ZERO,
+            devices: slots.to_vec(),
+            counts,
+            kept_devices,
+            chunks,
+            imbalance_pct: breakdown.imbalance_pct(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homp_lang::{DistPolicy, MapDir};
+
+    fn axpy_intensity() -> KernelIntensity {
+        KernelIntensity {
+            flops_per_iter: 2.0,
+            mem_elems_per_iter: 3.0,
+            data_elems_per_iter: 3.0,
+            elem_bytes: 8.0,
+        }
+    }
+
+    fn axpy_region(n: u64, devices: Vec<DeviceId>, algorithm: Algorithm) -> OffloadRegion {
+        OffloadRegion::builder("axpy")
+            .trip_count(n)
+            .devices(devices)
+            .algorithm(algorithm)
+            .map_1d("x", MapDir::To, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+            .map_1d(
+                "y",
+                MapDir::ToFrom,
+                n,
+                8,
+                DistPolicy::Align { target: "loop".into(), ratio: 1 },
+            )
+            .build()
+    }
+
+    /// Run axpy for real and return (report, y, expected).
+    fn run_axpy(machine: Machine, algorithm: Algorithm, n: usize) -> (OffloadReport, Vec<f64>) {
+        let devices: Vec<DeviceId> = (0..machine.len() as DeviceId).collect();
+        let mut rt = Runtime::new(machine, 42);
+        let region = axpy_region(n as u64, devices, algorithm);
+        let a = 2.0f64;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let report = {
+            let mut kernel = FnKernel::new(axpy_intensity(), |r: Range| {
+                for i in r.start..r.end {
+                    y[i as usize] += a * x[i as usize];
+                }
+            });
+            rt.offload(&region, &mut kernel).unwrap()
+        };
+        (report, y)
+    }
+
+    fn check_axpy_result(y: &[f64]) {
+        for (i, v) in y.iter().enumerate() {
+            let expect = (i % 7) as f64 + 2.0 * i as f64;
+            assert_eq!(*v, expect, "y[{i}]");
+        }
+    }
+
+    #[test]
+    fn every_algorithm_computes_correctly_and_covers_loop() {
+        for alg in Algorithm::paper_suite() {
+            let (report, y) = run_axpy(Machine::four_k40(), alg, 10_000);
+            check_axpy_result(&y);
+            assert_eq!(
+                report.counts.iter().sum::<u64>(),
+                10_000,
+                "{alg} must cover the loop"
+            );
+            assert!(report.makespan.as_secs() > 0.0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn every_algorithm_works_on_heterogeneous_machine() {
+        for alg in Algorithm::paper_suite_with_cutoff(0.15) {
+            let (report, y) = run_axpy(Machine::full_node(), alg, 8_000);
+            check_axpy_result(&y);
+            assert_eq!(report.counts.iter().sum::<u64>(), 8_000, "{alg}");
+        }
+    }
+
+    #[test]
+    fn block_splits_evenly_on_identical_gpus() {
+        let (report, _) = run_axpy(Machine::four_k40(), Algorithm::Block, 10_000);
+        assert_eq!(report.counts, vec![2500; 4]);
+        assert_eq!(report.chunks, 4);
+    }
+
+    #[test]
+    fn dynamic_produces_many_chunks() {
+        let (report, _) =
+            run_axpy(Machine::four_k40(), Algorithm::Dynamic { chunk_pct: 2.0 }, 10_000);
+        assert_eq!(report.chunks, 50);
+    }
+
+    #[test]
+    fn model1_gives_more_to_faster_devices() {
+        let (report, _) =
+            run_axpy(Machine::full_node(), Algorithm::Model1 { cutoff: None }, 100_000);
+        // Device 0 is the dual-socket host; devices 1–4 are K40s. For a
+        // memory-bound kernel, the GPU (288 GB/s) out-rates the host
+        // (136 GB/s).
+        assert!(report.counts[1] > report.counts[0]);
+    }
+
+    #[test]
+    fn cutoff_drops_slow_devices_from_model_plans() {
+        let (report, y) = run_axpy(
+            Machine::full_node(),
+            Algorithm::Model1 { cutoff: Some(0.15) },
+            50_000,
+        );
+        check_axpy_result(&y);
+        assert!(
+            report.kept_devices.len() < report.devices.len(),
+            "some device should fall below 15% on the full node: kept {:?}",
+            report.kept_devices
+        );
+        assert_eq!(report.counts.iter().sum::<u64>(), 50_000);
+    }
+
+    #[test]
+    fn imbalance_is_small_for_block_on_identical_devices() {
+        let (report, _) = run_axpy(Machine::four_k40(), Algorithm::Block, 1_000_000);
+        assert!(
+            report.imbalance_pct < 6.0,
+            "paper reports <5% average; got {}",
+            report.imbalance_pct
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (r1, _) = run_axpy(Machine::four_k40(), Algorithm::Dynamic { chunk_pct: 2.0 }, 50_000);
+        let (r2, _) = run_axpy(Machine::four_k40(), Algorithm::Dynamic { chunk_pct: 2.0 }, 50_000);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.counts, r2.counts);
+    }
+
+    #[test]
+    fn auto_resolves_by_heuristics() {
+        let rt = Runtime::new(Machine::four_k40(), 1);
+        // Data-intensive axpy → MODEL_2 on any machine.
+        let resolved = rt.resolve_auto(
+            Algorithm::Auto { cutoff: None },
+            &axpy_intensity(),
+            &[0, 1, 2, 3],
+        );
+        assert_eq!(resolved, Algorithm::Model2 { cutoff: None });
+        // Compute-intensive kernel on identical devices → BLOCK.
+        let mm = KernelIntensity {
+            flops_per_iter: 10_000.0,
+            mem_elems_per_iter: 3.0,
+            data_elems_per_iter: 3.0,
+            elem_bytes: 8.0,
+        };
+        assert_eq!(
+            rt.resolve_auto(Algorithm::Auto { cutoff: None }, &mm, &[0, 1, 2, 3]),
+            Algorithm::Block
+        );
+        // Same kernel on a mixed machine → MODEL_1.
+        let rt2 = Runtime::new(Machine::full_node(), 1);
+        assert_eq!(
+            rt2.resolve_auto(Algorithm::Auto { cutoff: None }, &mm, &[0, 1, 2]),
+            Algorithm::Model1 { cutoff: None }
+        );
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let mut rt = Runtime::new(Machine::four_k40(), 1);
+        let region = axpy_region(100, vec![0, 99], Algorithm::Block);
+        let mut kernel = FnKernel::new(axpy_intensity(), |_r| {});
+        assert_eq!(
+            rt.offload(&region, &mut kernel).unwrap_err(),
+            OffloadError::UnknownDevice(99)
+        );
+    }
+
+    #[test]
+    fn learned_offload_uses_history_after_first_run() {
+        let mut rt = Runtime::new(Machine::full_node(), 19);
+        let mut db = crate::history::HistoryDb::new();
+        let n = 100_000u64;
+        let region = axpy_region(n, (0..7).collect(), Algorithm::Model1 { cutoff: None });
+        let mut kernel = FnKernel::new(axpy_intensity(), |_r| {});
+
+        // First offload: no history → MODEL_1 runs (and mispredicts for
+        // a data-bound kernel); history is recorded.
+        let first = rt.offload_learned(&region, &mut kernel, &mut db).unwrap();
+        assert!(db.covers("axpy", &region.devices), "history recorded for all devices");
+
+        // Second offload: history-driven distribution should improve on
+        // MODEL_1's datasheet misprediction.
+        let second = rt.offload_learned(&region, &mut kernel, &mut db).unwrap();
+        assert_eq!(second.counts.iter().sum::<u64>(), n);
+        assert!(
+            second.makespan.as_secs() < first.makespan.as_secs(),
+            "learned {} !< first {}",
+            second.makespan,
+            first.makespan
+        );
+    }
+
+    #[test]
+    fn learned_offload_respects_cutoff() {
+        let mut rt = Runtime::new(Machine::full_node(), 20);
+        let mut db = crate::history::HistoryDb::new();
+        let n = 100_000u64;
+        let region =
+            axpy_region(n, (0..7).collect(), Algorithm::Model2 { cutoff: Some(0.15) });
+        let mut kernel = FnKernel::new(axpy_intensity(), |_r| {});
+        rt.offload_learned(&region, &mut kernel, &mut db).unwrap();
+        let second = rt.offload_learned(&region, &mut kernel, &mut db).unwrap();
+        assert!(second.kept_devices.len() < 7, "cutoff applies to learned rates too");
+        assert_eq!(second.counts.iter().sum::<u64>(), n);
+    }
+
+    #[test]
+    fn serialized_offload_is_slower_than_parallel() {
+        let n = 1_000_000u64;
+        let mk = |parallel: bool| {
+            let mut rt = Runtime::noiseless(Machine::four_k40());
+            let mut b = OffloadRegion::builder("axpy")
+                .trip_count(n)
+                .devices(vec![0, 1, 2, 3])
+                .algorithm(Algorithm::Block)
+                .map_1d(
+                    "x",
+                    MapDir::To,
+                    n,
+                    8,
+                    DistPolicy::Align { target: "loop".into(), ratio: 1 },
+                );
+            if !parallel {
+                b = b.serialized_offload();
+            }
+            let region = b.build();
+            let mut kernel = FnKernel::new(axpy_intensity(), |_r| {});
+            rt.offload(&region, &mut kernel).unwrap().makespan
+        };
+        let par = mk(true);
+        let ser = mk(false);
+        assert!(
+            ser.as_secs() > par.as_secs(),
+            "serialized {ser} should exceed parallel {par}"
+        );
+    }
+
+    #[test]
+    fn resident_data_skips_fixed_transfers() {
+        let n = 10_000u64;
+        let region = OffloadRegion::builder("mv")
+            .trip_count(n)
+            .devices(vec![0, 1, 2, 3])
+            .algorithm(Algorithm::Block)
+            // A large replicated array dominates the fixed transfer cost.
+            .map_1d("x", MapDir::To, n * 64, 8, DistPolicy::Full)
+            .map_1d(
+                "y",
+                MapDir::ToFrom,
+                n,
+                8,
+                DistPolicy::Align { target: "loop".into(), ratio: 1 },
+            )
+            .build();
+        let mut rt = Runtime::noiseless(Machine::four_k40());
+        let mut kernel = FnKernel::new(axpy_intensity(), |_r| {});
+        let cold = rt.offload_with(&region, &mut kernel, false).unwrap().makespan;
+        let warm = rt.offload_with(&region, &mut kernel, true).unwrap().makespan;
+        assert!(warm.as_secs() < cold.as_secs());
+    }
+
+    #[test]
+    fn profile_algorithms_run_two_stages() {
+        let (report, y) = run_axpy(
+            Machine::full_node(),
+            Algorithm::ProfileConst { sample_pct: 10.0, cutoff: None },
+            20_000,
+        );
+        check_axpy_result(&y);
+        // Stage 1 gives every device a sample; stage 2 redistributes.
+        assert!(report.chunks > report.devices.len() as u64 - 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! The loop-distribution scheduling framework.
+//!
+//! "Loop scheduling framework is implemented modularly such that new
+//! scheduling algorithms can be easily added or tweaked" (Section V).
+//! The seven algorithms of Table II fall into three families:
+//!
+//! | family | algorithms | stages |
+//! |---|---|---|
+//! | chunk scheduling | [`block`], [`chunking`] (dynamic, guided) | 1 / multiple |
+//! | analytical modeling | [`model_sched`] (MODEL_1, MODEL_2) | 1 |
+//! | sample profiling | [`profile_sched`] (constant, model-sized) | 2 |
+//!
+//! Each family exposes *pure* planning functions (given device
+//! parameters / measured throughputs, produce per-device iteration
+//! counts or chunk sizes); the runtime in [`crate::runtime`] drives them
+//! against the simulator, and [`crate::host_exec`] against real threads.
+//! CUTOFF device filtering ([`homp_model::cutoff`]) composes with the
+//! model and profile families.
+
+pub mod block;
+pub mod chunking;
+pub mod model_sched;
+pub mod profile_sched;
+
+use std::fmt;
+
+/// Default chunk fraction for `SCHED_DYNAMIC` (the paper evaluates 2%).
+pub const DEFAULT_DYNAMIC_PCT: f64 = 2.0;
+/// Default first-chunk fraction for `SCHED_GUIDED` (paper: 20%).
+pub const DEFAULT_GUIDED_PCT: f64 = 20.0;
+/// Default stage-1 sample fraction for the profiling algorithms (10%).
+pub const DEFAULT_SAMPLE_PCT: f64 = 10.0;
+
+/// A concrete choice of loop-distribution algorithm with its parameters
+/// — the lowered form of `dist_schedule(target:[…])`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Static even chunking.
+    Block,
+    /// Dynamic chunking: fixed-size chunks grabbed on completion.
+    Dynamic {
+        /// Chunk size as a percentage of the trip count.
+        chunk_pct: f64,
+    },
+    /// Guided chunking: geometrically shrinking chunks.
+    Guided {
+        /// First-chunk size as a percentage of the trip count.
+        chunk_pct: f64,
+    },
+    /// Compute-only analytical model.
+    Model1 {
+        /// CUTOFF ratio in `[0,1)`; `None` disables device filtering.
+        cutoff: Option<f64>,
+    },
+    /// Compute + data-movement analytical model.
+    Model2 {
+        /// CUTOFF ratio.
+        cutoff: Option<f64>,
+    },
+    /// Two-stage profiling, equal sample sizes in stage 1.
+    ProfileConst {
+        /// Stage-1 sample size as a percentage of the trip count.
+        sample_pct: f64,
+        /// CUTOFF ratio applied to stage-2 shares.
+        cutoff: Option<f64>,
+    },
+    /// Two-stage profiling, stage-1 sizes chosen by MODEL_2.
+    ProfileModel {
+        /// Stage-1 total sample percentage.
+        sample_pct: f64,
+        /// CUTOFF ratio applied to stage-2 shares.
+        cutoff: Option<f64>,
+    },
+    /// Let the runtime pick via the §VI-D heuristics.
+    Auto {
+        /// CUTOFF ratio forwarded to the chosen algorithm.
+        cutoff: Option<f64>,
+    },
+}
+
+impl Algorithm {
+    /// The seven concrete algorithms with the paper's evaluation
+    /// parameters (Table II notation), in table order.
+    pub fn paper_suite() -> Vec<Algorithm> {
+        vec![
+            Algorithm::Block,
+            Algorithm::Dynamic { chunk_pct: 2.0 },
+            Algorithm::Guided { chunk_pct: 20.0 },
+            Algorithm::Model1 { cutoff: None },
+            Algorithm::Model2 { cutoff: None },
+            Algorithm::ProfileConst { sample_pct: 10.0, cutoff: None },
+            Algorithm::ProfileModel { sample_pct: 10.0, cutoff: None },
+        ]
+    }
+
+    /// Same suite with a CUTOFF ratio applied to the model/profile
+    /// algorithms (chunk algorithms ignore CUTOFF, as in the paper).
+    pub fn paper_suite_with_cutoff(ratio: f64) -> Vec<Algorithm> {
+        vec![
+            Algorithm::Block,
+            Algorithm::Dynamic { chunk_pct: 2.0 },
+            Algorithm::Guided { chunk_pct: 20.0 },
+            Algorithm::Model1 { cutoff: Some(ratio) },
+            Algorithm::Model2 { cutoff: Some(ratio) },
+            Algorithm::ProfileConst { sample_pct: 10.0, cutoff: Some(ratio) },
+            Algorithm::ProfileModel { sample_pct: 10.0, cutoff: Some(ratio) },
+        ]
+    }
+
+    /// Lower a parsed `dist_schedule` kind. `ALIGN` is not an algorithm
+    /// (the loop copies an array's distribution) and returns `None`.
+    pub fn from_schedule_kind(
+        kind: &homp_lang::ScheduleKind,
+        cutoff_pct: Option<u64>,
+    ) -> Option<Algorithm> {
+        use homp_lang::ScheduleKind as K;
+        let cutoff = cutoff_pct.map(|c| c as f64 / 100.0);
+        Some(match kind {
+            K::Block => Algorithm::Block,
+            K::Auto => Algorithm::Auto { cutoff },
+            K::Align { .. } => return None,
+            K::Dynamic { chunk_pct } => Algorithm::Dynamic {
+                chunk_pct: chunk_pct.map(|c| c as f64).unwrap_or(DEFAULT_DYNAMIC_PCT),
+            },
+            K::Guided { chunk_pct } => Algorithm::Guided {
+                chunk_pct: chunk_pct.map(|c| c as f64).unwrap_or(DEFAULT_GUIDED_PCT),
+            },
+            K::Model1 => Algorithm::Model1 { cutoff },
+            K::Model2 => Algorithm::Model2 { cutoff },
+            K::ProfileAuto { sample_pct } => Algorithm::ProfileConst {
+                sample_pct: sample_pct.map(|c| c as f64).unwrap_or(DEFAULT_SAMPLE_PCT),
+                cutoff,
+            },
+            K::ModelProfile { sample_pct } => Algorithm::ProfileModel {
+                sample_pct: sample_pct.map(|c| c as f64).unwrap_or(DEFAULT_SAMPLE_PCT),
+                cutoff,
+            },
+        })
+    }
+
+    /// Whether the algorithm schedules in multiple stages (dynamic /
+    /// guided chunking) — the "# Stages: Multiple" rows of Table II.
+    pub fn is_multi_stage(&self) -> bool {
+        matches!(self, Algorithm::Dynamic { .. } | Algorithm::Guided { .. })
+    }
+
+    /// Whether CUTOFF applies to this algorithm.
+    pub fn supports_cutoff(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::Model1 { .. }
+                | Algorithm::Model2 { .. }
+                | Algorithm::ProfileConst { .. }
+                | Algorithm::ProfileModel { .. }
+                | Algorithm::Auto { .. }
+        )
+    }
+
+    /// The CUTOFF ratio, if set.
+    pub fn cutoff(&self) -> Option<f64> {
+        match self {
+            Algorithm::Model1 { cutoff }
+            | Algorithm::Model2 { cutoff }
+            | Algorithm::ProfileConst { cutoff, .. }
+            | Algorithm::ProfileModel { cutoff, .. }
+            | Algorithm::Auto { cutoff } => *cutoff,
+            _ => None,
+        }
+    }
+
+    /// Return a copy with the CUTOFF ratio set (no-op for chunk
+    /// algorithms, which don't support it).
+    pub fn with_cutoff(self, ratio: f64) -> Algorithm {
+        match self {
+            Algorithm::Model1 { .. } => Algorithm::Model1 { cutoff: Some(ratio) },
+            Algorithm::Model2 { .. } => Algorithm::Model2 { cutoff: Some(ratio) },
+            Algorithm::ProfileConst { sample_pct, .. } => {
+                Algorithm::ProfileConst { sample_pct, cutoff: Some(ratio) }
+            }
+            Algorithm::ProfileModel { sample_pct, .. } => {
+                Algorithm::ProfileModel { sample_pct, cutoff: Some(ratio) }
+            }
+            Algorithm::Auto { .. } => Algorithm::Auto { cutoff: Some(ratio) },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Block => write!(f, "BLOCK"),
+            Algorithm::Dynamic { chunk_pct } => write!(f, "SCHED_DYNAMIC,{chunk_pct}%"),
+            Algorithm::Guided { chunk_pct } => write!(f, "SCHED_GUIDED,{chunk_pct}%"),
+            Algorithm::Model1 { cutoff } => match cutoff {
+                Some(c) => write!(f, "MODEL_1_AUTO,-1,{}%", (c * 100.0).round()),
+                None => write!(f, "MODEL_1_AUTO"),
+            },
+            Algorithm::Model2 { cutoff } => match cutoff {
+                Some(c) => write!(f, "MODEL_2_AUTO,-1,{}%", (c * 100.0).round()),
+                None => write!(f, "MODEL_2_AUTO"),
+            },
+            Algorithm::ProfileConst { sample_pct, cutoff } => match cutoff {
+                Some(c) => {
+                    write!(f, "SCHED_PROFILE_AUTO,{sample_pct}%,{}%", (c * 100.0).round())
+                }
+                None => write!(f, "SCHED_PROFILE_AUTO,{sample_pct}%"),
+            },
+            Algorithm::ProfileModel { sample_pct, cutoff } => match cutoff {
+                Some(c) => {
+                    write!(f, "MODEL_PROFILE_AUTO,{sample_pct}%,{}%", (c * 100.0).round())
+                }
+                None => write!(f, "MODEL_PROFILE_AUTO,{sample_pct}%"),
+            },
+            Algorithm::Auto { .. } => write!(f, "AUTO"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homp_lang::ScheduleKind;
+
+    #[test]
+    fn paper_suite_has_seven() {
+        assert_eq!(Algorithm::paper_suite().len(), 7);
+    }
+
+    #[test]
+    fn lowering_defaults() {
+        let a = Algorithm::from_schedule_kind(&ScheduleKind::Dynamic { chunk_pct: None }, None)
+            .unwrap();
+        assert_eq!(a, Algorithm::Dynamic { chunk_pct: 2.0 });
+        let g = Algorithm::from_schedule_kind(&ScheduleKind::Guided { chunk_pct: None }, None)
+            .unwrap();
+        assert_eq!(g, Algorithm::Guided { chunk_pct: 20.0 });
+    }
+
+    #[test]
+    fn lowering_cutoff() {
+        let a =
+            Algorithm::from_schedule_kind(&ScheduleKind::Model2, Some(15)).unwrap();
+        assert_eq!(a.cutoff(), Some(0.15));
+    }
+
+    #[test]
+    fn align_is_not_an_algorithm() {
+        assert!(Algorithm::from_schedule_kind(
+            &ScheduleKind::Align { target: "x".into(), ratio: 1 },
+            None
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn stage_classification_matches_table_ii() {
+        assert!(!Algorithm::Block.is_multi_stage());
+        assert!(Algorithm::Dynamic { chunk_pct: 2.0 }.is_multi_stage());
+        assert!(Algorithm::Guided { chunk_pct: 20.0 }.is_multi_stage());
+        assert!(!Algorithm::Model1 { cutoff: None }.is_multi_stage());
+        assert!(!Algorithm::ProfileConst { sample_pct: 10.0, cutoff: None }.is_multi_stage());
+    }
+
+    #[test]
+    fn cutoff_support_matches_table_ii_note() {
+        assert!(!Algorithm::Block.supports_cutoff());
+        assert!(!Algorithm::Dynamic { chunk_pct: 2.0 }.supports_cutoff());
+        assert!(!Algorithm::Guided { chunk_pct: 20.0 }.supports_cutoff());
+        for a in &Algorithm::paper_suite()[3..] {
+            assert!(a.supports_cutoff(), "{a}");
+        }
+    }
+
+    #[test]
+    fn with_cutoff_is_noop_for_chunkers() {
+        assert_eq!(Algorithm::Block.with_cutoff(0.15), Algorithm::Block);
+        assert_eq!(
+            Algorithm::Model1 { cutoff: None }.with_cutoff(0.15).cutoff(),
+            Some(0.15)
+        );
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(Algorithm::Dynamic { chunk_pct: 2.0 }.to_string(), "SCHED_DYNAMIC,2%");
+        assert_eq!(
+            Algorithm::ProfileConst { sample_pct: 10.0, cutoff: Some(0.15) }.to_string(),
+            "SCHED_PROFILE_AUTO,10%,15%"
+        );
+        assert_eq!(
+            Algorithm::Model1 { cutoff: Some(0.15) }.to_string(),
+            "MODEL_1_AUTO,-1,15%"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! AXPY: `y[i] += a * x[i]` — the paper's running example (Figs 1–2).
+//!
+//! Table IV: `MemComp = 1.5`, `DataComp = 1.5` — data-intensive. Per
+//! iteration: 2 FLOPs (multiply + add), 3 element accesses (load `x`,
+//! load+store `y`), 3 elements over the bus (`x` in, `y` in and out).
+
+use homp_core::{LoopKernel, OffloadRegion, Range};
+use homp_lang::{DistPolicy, MapDir};
+use homp_model::KernelIntensity;
+use homp_sim::DeviceId;
+
+/// Per-iteration intensity of AXPY.
+pub fn intensity() -> KernelIntensity {
+    KernelIntensity {
+        flops_per_iter: 2.0,
+        mem_elems_per_iter: 3.0,
+        data_elems_per_iter: 3.0,
+        elem_bytes: 8.0,
+    }
+}
+
+/// The offload region for AXPY over `n` elements — the lowering of
+/// `axpy_homp_v2` (arrays ALIGN(loop), loop algorithm supplied).
+pub fn region(n: u64, devices: Vec<DeviceId>, algorithm: homp_core::Algorithm) -> OffloadRegion {
+    OffloadRegion::builder("axpy")
+        .trip_count(n)
+        .devices(devices)
+        .algorithm(algorithm)
+        .map_1d("x", MapDir::To, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+        .map_1d("y", MapDir::ToFrom, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+        .scalars(16) // a, n
+        .build()
+}
+
+/// AXPY with real data.
+pub struct Axpy {
+    /// Scalar multiplier.
+    pub a: f64,
+    /// Input vector.
+    pub x: Vec<f64>,
+    /// In/out vector.
+    pub y: Vec<f64>,
+}
+
+impl Axpy {
+    /// Deterministic test instance of length `n`.
+    pub fn new(n: usize, a: f64) -> Self {
+        Self {
+            a,
+            x: (0..n).map(|i| (i as f64 * 0.5).sin()).collect(),
+            y: (0..n).map(|i| (i as f64 * 0.25).cos()).collect(),
+        }
+    }
+
+    /// Problem size.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// What `y` should hold after one full application.
+    pub fn expected(&self) -> Vec<f64> {
+        self.y.iter().zip(&self.x).map(|(y, x)| y + self.a * x).collect()
+    }
+
+    /// Sequential reference execution over fresh clones.
+    pub fn reference(&self) -> Vec<f64> {
+        let mut y = self.y.clone();
+        for (yi, xi) in y.iter_mut().zip(&self.x) {
+            *yi += self.a * xi;
+        }
+        y
+    }
+}
+
+impl LoopKernel for Axpy {
+    fn intensity(&self) -> KernelIntensity {
+        intensity()
+    }
+
+    fn execute(&mut self, r: Range) {
+        for i in r.start..r.end {
+            let i = i as usize;
+            self.y[i] += self.a * self.x[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homp_core::{Algorithm, Runtime};
+    use homp_sim::Machine;
+
+    #[test]
+    fn table_iv_ratios() {
+        let k = intensity();
+        assert_eq!(k.mem_comp(), 1.5);
+        assert_eq!(k.data_comp(), 1.5);
+    }
+
+    #[test]
+    fn chunked_execution_matches_reference() {
+        let mut k = Axpy::new(1000, 2.5);
+        let expected = k.expected();
+        // Execute in arbitrary chunk order.
+        k.execute(Range::new(500, 1000));
+        k.execute(Range::new(0, 250));
+        k.execute(Range::new(250, 500));
+        assert_eq!(k.y, expected);
+    }
+
+    #[test]
+    fn distributed_on_simulator_matches_reference() {
+        let mut rt = Runtime::new(Machine::four_k40(), 7);
+        let mut k = Axpy::new(4096, -1.5);
+        let expected = k.expected();
+        let region = region(4096, vec![0, 1, 2, 3], Algorithm::Dynamic { chunk_pct: 2.0 });
+        rt.offload(&region, &mut k).unwrap();
+        assert_eq!(k.y, expected);
+    }
+
+    #[test]
+    fn reference_matches_expected() {
+        let k = Axpy::new(100, 3.0);
+        assert_eq!(k.reference(), k.expected());
+    }
+}

@@ -1,0 +1,37 @@
+//! The paper's evaluation kernels (Table IV) with real implementations,
+//! cost descriptors and offload-region builders.
+//!
+//! | kernel | class | module |
+//! |---|---|---|
+//! | AXPY | data-intensive | [`axpy`] |
+//! | Matrix–vector | balanced | [`matvec`] |
+//! | Matrix multiplication | compute-intensive | [`matmul`] |
+//! | 13-point stencil | balanced, halo | [`stencil`] |
+//! | Sum | data-intensive, reduction | [`sum`] |
+//! | Block matching | compute-intensive, windowed | [`block_matching`] |
+//! | Jacobi (Fig. 3) | iterative app: data region + halo + reduction | [`jacobi`] |
+//!
+//! Every kernel implements [`homp_core::LoopKernel`]: the runtime
+//! executes its *real* arithmetic chunk by chunk (validated against
+//! sequential references) while the simulator prices the distribution.
+//! [`phantom::PhantomKernel`] carries only the cost descriptor for
+//! paper-scale figure regeneration, and [`specs::KernelSpec`] registers
+//! the suite at its Table V sizes.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod axpy;
+pub mod block_matching;
+pub mod characteristics;
+pub mod jacobi;
+pub mod matmul;
+pub mod matvec;
+pub mod phantom;
+pub mod specs;
+pub mod stencil;
+pub mod sum;
+
+pub use characteristics::{table_iv, table_iv_paper_sizes, CharacteristicsRow};
+pub use phantom::PhantomKernel;
+pub use specs::KernelSpec;

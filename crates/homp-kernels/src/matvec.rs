@@ -1,0 +1,136 @@
+//! Matrix–vector product `y = A·x` — compute-data balanced
+//! (Table IV: `MemComp = 1 + 0.5/N`, `DataComp = 0.5 + 1/N`).
+//!
+//! The outer loop runs over the rows of `A`; each iteration does `2N`
+//! FLOPs, touches `2N + 1` elements (the row, `x`, and the `y` store),
+//! and the per-row bus traffic is one row plus the amortized share of
+//! `x` and `y` (`N + 2` elements).
+
+use homp_core::{LoopKernel, OffloadRegion, Range};
+use homp_lang::{DistPolicy, MapDir};
+use homp_model::KernelIntensity;
+use homp_sim::DeviceId;
+
+/// Per-row intensity for an `N×N` matrix.
+pub fn intensity(n: u64) -> KernelIntensity {
+    let nf = n as f64;
+    KernelIntensity {
+        flops_per_iter: 2.0 * nf,
+        mem_elems_per_iter: 2.0 * nf + 1.0,
+        data_elems_per_iter: nf + 2.0,
+        elem_bytes: 8.0,
+    }
+}
+
+/// Offload region: `A` rows align with the loop, `x` replicates, `y`
+/// aligns out.
+pub fn region(n: u64, devices: Vec<DeviceId>, algorithm: homp_core::Algorithm) -> OffloadRegion {
+    OffloadRegion::builder("matvec")
+        .trip_count(n)
+        .devices(devices)
+        .algorithm(algorithm)
+        .map_2d(
+            "A",
+            MapDir::To,
+            n,
+            n,
+            8,
+            DistPolicy::Align { target: "loop".into(), ratio: 1 },
+            DistPolicy::Full,
+            None,
+        )
+        .map_1d("x", MapDir::To, n, 8, DistPolicy::Full)
+        .map_1d("y", MapDir::From, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+        .scalars(8)
+        .build()
+}
+
+/// Matrix–vector product with real data (row-major `A`).
+pub struct MatVec {
+    n: usize,
+    /// Row-major `N×N` matrix.
+    pub a: Vec<f64>,
+    /// Input vector.
+    pub x: Vec<f64>,
+    /// Output vector.
+    pub y: Vec<f64>,
+}
+
+impl MatVec {
+    /// Deterministic instance.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            a: (0..n * n).map(|i| ((i % 13) as f64 - 6.0) * 0.1).collect(),
+            x: (0..n).map(|i| ((i % 7) as f64) * 0.2 + 0.1).collect(),
+            y: vec![0.0; n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sequential reference product.
+    pub fn reference(&self) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.a[i * self.n..(i + 1) * self.n];
+            *yi = row.iter().zip(&self.x).map(|(a, x)| a * x).sum();
+        }
+        y
+    }
+}
+
+impl LoopKernel for MatVec {
+    fn intensity(&self) -> KernelIntensity {
+        intensity(self.n as u64)
+    }
+
+    fn execute(&mut self, r: Range) {
+        for i in r.start as usize..r.end as usize {
+            let row = &self.a[i * self.n..(i + 1) * self.n];
+            self.y[i] = row.iter().zip(&self.x).map(|(a, x)| a * x).sum();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homp_core::{Algorithm, Runtime};
+    use homp_sim::Machine;
+
+    #[test]
+    fn table_iv_ratios() {
+        let n = 48_000u64;
+        let k = intensity(n);
+        assert!((k.mem_comp() - (1.0 + 0.5 / n as f64)).abs() < 1e-12);
+        assert!((k.data_comp() - (0.5 + 1.0 / n as f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distributed_matches_reference() {
+        for alg in [
+            Algorithm::Block,
+            Algorithm::Guided { chunk_pct: 20.0 },
+            Algorithm::Model2 { cutoff: None },
+        ] {
+            let mut rt = Runtime::new(Machine::two_cpus_two_mics(), 5);
+            let n = 128;
+            let mut k = MatVec::new(n);
+            let expected = k.reference();
+            let region = region(n as u64, vec![0, 1, 2, 3], alg);
+            rt.offload(&region, &mut k).unwrap();
+            assert_eq!(k.y, expected, "{alg}");
+        }
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let mut k = MatVec::new(1);
+        k.execute(Range::new(0, 1));
+        assert_eq!(k.y, k.reference());
+    }
+}

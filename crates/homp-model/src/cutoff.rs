@@ -1,0 +1,170 @@
+//! CUTOFF device selection (Section IV-E).
+//!
+//! "When offloading a parallel loop onto devices whose computational
+//! capability are significantly different, slower devices may contribute
+//! negatively to the overall performance." The CUTOFF heuristic removes
+//! any device whose predicted contribution (share of the loop) falls
+//! below a ratio threshold. In the paper's experiments the ratio is the
+//! average contribution with all devices assumed equal: `1 / #devices`
+//! (15% ≈ 100/7 for 2 CPUs counted as one host device + 4 GPUs + 2 MICs).
+//!
+//! Removing a device changes everyone else's share, so the filter is
+//! applied iteratively via a caller-supplied re-prediction function until
+//! a fixed point is reached.
+
+/// Result of applying the CUTOFF filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutoffOutcome {
+    /// Indices (into the original device list) that survived.
+    pub kept: Vec<usize>,
+    /// Final shares for the survivors, summing to 1, indexed like `kept`.
+    pub shares: Vec<f64>,
+    /// Indices removed, in the order they were dropped.
+    pub removed: Vec<usize>,
+}
+
+impl CutoffOutcome {
+    /// Shares expanded back to the original device indexing (dropped
+    /// devices get 0).
+    pub fn full_shares(&self, n_devices: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n_devices];
+        for (&i, &s) in self.kept.iter().zip(&self.shares) {
+            out[i] = s;
+        }
+        out
+    }
+}
+
+/// The paper's default ratio: the average contribution if all `n` devices
+/// were identical.
+pub fn default_ratio(n_devices: usize) -> f64 {
+    assert!(n_devices > 0);
+    1.0 / n_devices as f64
+}
+
+/// Apply CUTOFF with the given `ratio`.
+///
+/// `predict` maps a set of candidate device indices to their predicted
+/// shares (same length, summing to 1) — typically a closure over
+/// `model1_shares`/`model2_shares`/profiled throughputs restricted to the
+/// subset. Devices below `ratio` are removed one at a time (weakest
+/// first) and the prediction re-run, because removing a slow device can
+/// lift the others above the threshold. At least one device is always
+/// kept.
+pub fn apply_cutoff<F>(n_devices: usize, ratio: f64, mut predict: F) -> CutoffOutcome
+where
+    F: FnMut(&[usize]) -> Vec<f64>,
+{
+    assert!(n_devices > 0, "need at least one device");
+    assert!((0.0..1.0).contains(&ratio), "ratio must be in [0,1), got {ratio}");
+
+    let mut kept: Vec<usize> = (0..n_devices).collect();
+    let mut removed = Vec::new();
+
+    loop {
+        let shares = predict(&kept);
+        assert_eq!(shares.len(), kept.len(), "predict must return one share per candidate");
+        if kept.len() == 1 {
+            return CutoffOutcome { kept, shares, removed };
+        }
+        // Find the weakest below-threshold device.
+        let mut worst: Option<(usize, f64)> = None;
+        for (pos, &s) in shares.iter().enumerate() {
+            if s < ratio {
+                match worst {
+                    Some((_, ws)) if ws <= s => {}
+                    _ => worst = Some((pos, s)),
+                }
+            }
+        }
+        match worst {
+            Some((pos, _)) => {
+                removed.push(kept.remove(pos));
+            }
+            None => return CutoffOutcome { kept, shares, removed },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Prediction proportional to fixed per-device speeds.
+    fn speed_predict(speeds: &[f64]) -> impl FnMut(&[usize]) -> Vec<f64> + '_ {
+        move |idx: &[usize]| {
+            let total: f64 = idx.iter().map(|&i| speeds[i]).sum();
+            idx.iter().map(|&i| speeds[i] / total).collect()
+        }
+    }
+
+    #[test]
+    fn keeps_all_equal_devices() {
+        let speeds = [1.0, 1.0, 1.0, 1.0];
+        let out = apply_cutoff(4, 0.15, speed_predict(&speeds));
+        assert_eq!(out.kept, vec![0, 1, 2, 3]);
+        assert!(out.removed.is_empty());
+    }
+
+    #[test]
+    fn drops_slow_device() {
+        // One device contributes 5% — below a 15% cutoff.
+        let speeds = [10.0, 10.0, 10.0, 1.5];
+        let out = apply_cutoff(4, 0.15, speed_predict(&speeds));
+        assert_eq!(out.removed, vec![3]);
+        assert_eq!(out.kept, vec![0, 1, 2]);
+        let sum: f64 = out.shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iterative_removal() {
+        // Dropping the slowest lifts the next one above threshold or not;
+        // here two weak devices must both go.
+        let speeds = [10.0, 10.0, 1.0, 1.2];
+        let out = apply_cutoff(4, 0.2, speed_predict(&speeds));
+        assert_eq!(out.kept, vec![0, 1]);
+        assert_eq!(out.removed, vec![2, 3]);
+    }
+
+    #[test]
+    fn weakest_removed_first() {
+        let speeds = [10.0, 0.5, 0.9];
+        let out = apply_cutoff(3, 0.3, speed_predict(&speeds));
+        assert_eq!(out.removed[0], 1, "the 0.5-speed device goes first");
+    }
+
+    #[test]
+    fn never_removes_last_device() {
+        let speeds = [1.0];
+        let out = apply_cutoff(1, 0.99, speed_predict(&speeds));
+        assert_eq!(out.kept, vec![0]);
+    }
+
+    #[test]
+    fn removal_can_rescue_borderline_device() {
+        // With all three: shares are 0.60, 0.26, 0.14 → drop idx 2.
+        // With two left: 0.70, 0.30 → idx 1 now safely above 0.15.
+        let speeds = [6.0, 2.6, 1.4];
+        let out = apply_cutoff(3, 0.15, speed_predict(&speeds));
+        assert_eq!(out.kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn full_shares_reindexes() {
+        let speeds = [10.0, 1.0, 10.0];
+        let out = apply_cutoff(3, 0.2, speed_predict(&speeds));
+        let full = out.full_shares(3);
+        assert_eq!(full.len(), 3);
+        assert_eq!(full[1], 0.0);
+        assert!((full[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_ratio_matches_paper() {
+        // 7 devices (2 CPUs as one host + 4 GPUs + 2 MICs) → ~14.3% ≈ 15%.
+        let r = default_ratio(7);
+        assert!((r - 1.0 / 7.0).abs() < 1e-12);
+        assert!(r > 0.14 && r < 0.15);
+    }
+}

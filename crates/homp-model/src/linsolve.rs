@@ -1,0 +1,214 @@
+//! Small dense linear solver.
+//!
+//! Both analytical models in the paper reduce to "solve a linear system
+//! with M+1 variables, N_0 … N_{M-1} and T_0" (Section IV-B.1). The
+//! systems are tiny (a node has at most a handful of devices), so a plain
+//! Gaussian elimination with partial pivoting is all we need — no
+//! external linear-algebra crate.
+
+/// Row-major dense matrix of `n` rows by `n` columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Build from rows; every row must have length `rows.len()`.
+    ///
+    /// # Panics
+    /// Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for row in rows {
+            assert_eq!(row.len(), n, "matrix must be square");
+            data.extend_from_slice(row);
+        }
+        Self { n, data }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Element mutator.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] = v;
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.n..(r + 1) * self.n];
+            *out = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+}
+
+/// Error from [`solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is singular (or numerically so) — no unique solution.
+    Singular,
+    /// Right-hand side length does not match the matrix dimension.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "singular matrix"),
+            SolveError::DimensionMismatch => write!(f, "rhs dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// Consumes copies internally; `a` and `b` are left untouched.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let mut m = a.data.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: pick the row with the largest magnitude in `col`.
+        let mut pivot = col;
+        let mut best = m[col * n + col].abs();
+        for row in col + 1..n {
+            let v = m[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-300 {
+            return Err(SolveError::Singular);
+        }
+        if pivot != col {
+            for c in 0..n {
+                m.swap(col * n + c, pivot * n + c);
+            }
+            rhs.swap(col, pivot);
+        }
+        let diag = m[col * n + col];
+        for row in col + 1..n {
+            let factor = m[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[row * n + c] -= factor * m[col * n + c];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for c in row + 1..n {
+            acc -= m[row * n + c] * x[c];
+        }
+        let diag = m[row * n + row];
+        if diag.abs() < 1e-300 {
+            return Err(SolveError::Singular);
+        }
+        x[row] = acc / diag;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let x = solve(&a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[7.0, 9.0]).unwrap();
+        assert_eq!(x, vec![9.0, 7.0]);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn rejects_bad_rhs() {
+        let a = Matrix::zeros(3);
+        assert_eq!(solve(&a, &[1.0]), Err(SolveError::DimensionMismatch));
+    }
+
+    proptest! {
+        /// For random well-conditioned diagonally-dominant systems, the
+        /// residual ‖Ax − b‖∞ must be tiny relative to ‖b‖∞.
+        #[test]
+        fn residual_is_small(
+            n in 1usize..7,
+            seed_vals in proptest::collection::vec(-100.0f64..100.0, 49),
+            rhs_vals in proptest::collection::vec(-100.0f64..100.0, 7),
+        ) {
+            let mut a = Matrix::zeros(n);
+            for r in 0..n {
+                let mut off_sum = 0.0;
+                for c in 0..n {
+                    if r != c {
+                        let v = seed_vals[r * 7 + c];
+                        a.set(r, c, v);
+                        off_sum += v.abs();
+                    }
+                }
+                // Diagonal dominance keeps the system well-conditioned.
+                a.set(r, r, off_sum + 1.0);
+            }
+            let b: Vec<f64> = rhs_vals[..n].to_vec();
+            let x = solve(&a, &b).unwrap();
+            let ax = a.mul_vec(&x);
+            let bmax = b.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+            for (l, r) in ax.iter().zip(&b) {
+                prop_assert!((l - r).abs() / bmax < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! `MODEL_1_AUTO` — distribution considering only compute capability.
+//!
+//! Section IV-B.1: for device `i`, the time to compute `N` iterations is
+//! `T = g_i(N)`; the throughput for time `T` is `N_i = f_i(T) = g_i⁻¹(T)`.
+//! The model picks chunk sizes `N_0 … N_{M-1}` so every device finishes at
+//! the same instant `T_0`, i.e. it solves
+//!
+//! ```text
+//! N_i − rate_i · T_0 = 0          (one equation per device)
+//! Σ N_i             = N
+//! ```
+//!
+//! a linear system with `M + 1` unknowns. For data-parallel loops where
+//! every iteration costs the same, `rate_i` is the device's attainable
+//! iteration rate: `attainable_flops / flops_per_iter`.
+//!
+//! The module provides both the closed-form shares (what a production
+//! runtime would use) and the explicit linear-system solve the paper
+//! describes; tests check they agree.
+
+use crate::linsolve::{solve, Matrix, SolveError};
+use crate::roofline::{attainable_rate, KernelIntensity};
+use crate::DeviceParams;
+
+/// Per-device iteration rate (iterations/second) for a kernel, the
+/// roofline-attenuated compute capability. This is the paper's
+/// `Perf_host|dev` expressed in loop iterations.
+pub fn iteration_rate(dev: &DeviceParams, kernel: &KernelIntensity) -> f64 {
+    attainable_rate(kernel, dev.perf_flops, dev.mem_bw) / kernel.flops_per_iter
+}
+
+/// Closed-form `MODEL_1` shares: fraction of the loop each device gets,
+/// proportional to its iteration rate. Shares sum to 1.
+pub fn model1_shares(devices: &[DeviceParams], kernel: &KernelIntensity) -> Vec<f64> {
+    let rates: Vec<f64> = devices.iter().map(|d| iteration_rate(d, kernel)).collect();
+    let total: f64 = rates.iter().sum();
+    if total <= 0.0 {
+        // Degenerate machine: give everything to device 0.
+        let mut s = vec![0.0; devices.len()];
+        if !s.is_empty() {
+            s[0] = 1.0;
+        }
+        return s;
+    }
+    rates.iter().map(|r| r / total).collect()
+}
+
+/// Solution of the explicit `(M+1)`-variable linear system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model1Solution {
+    /// Iterations assigned to each device (fractional; apportion to ints).
+    pub iterations: Vec<f64>,
+    /// The common completion time `T_0`, seconds.
+    pub t0: f64,
+}
+
+/// Build and solve the paper's linear system for a loop of `n` iterations.
+///
+/// Unknown vector is `[N_0, …, N_{M-1}, T_0]`.
+pub fn model1_system(
+    devices: &[DeviceParams],
+    kernel: &KernelIntensity,
+    n: u64,
+) -> Result<Model1Solution, SolveError> {
+    let m = devices.len();
+    assert!(m > 0, "need at least one device");
+    let dim = m + 1;
+    let mut a = Matrix::zeros(dim);
+    let mut b = vec![0.0; dim];
+
+    for (i, dev) in devices.iter().enumerate() {
+        // N_i - rate_i * T0 = 0
+        a.set(i, i, 1.0);
+        a.set(i, m, -iteration_rate(dev, kernel));
+        b[i] = 0.0;
+    }
+    // Σ N_i = N
+    for i in 0..m {
+        a.set(m, i, 1.0);
+    }
+    b[m] = n as f64;
+
+    let x = solve(&a, &b)?;
+    Ok(Model1Solution { iterations: x[..m].to_vec(), t0: x[m] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hockney::Hockney;
+    use proptest::prelude::*;
+
+    fn kernel() -> KernelIntensity {
+        KernelIntensity {
+            flops_per_iter: 100.0,
+            mem_elems_per_iter: 2.0,
+            data_elems_per_iter: 2.0,
+            elem_bytes: 8.0,
+        }
+    }
+
+    fn machine() -> Vec<DeviceParams> {
+        vec![
+            DeviceParams::host(6.6e11, 6.8e10),
+            DeviceParams::accelerator(1.43e12, 2.88e11, Hockney::new(1e-5, 1.2e10), 1e-5),
+            DeviceParams::accelerator(1.2e12, 3.52e11, Hockney::new(2e-5, 6e9), 3e-5),
+        ]
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let s = model1_shares(&machine(), &kernel());
+        let sum: f64 = s.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_device_gets_more() {
+        let s = model1_shares(&machine(), &kernel());
+        // GPU (index 1) has the highest attainable rate for this kernel.
+        assert!(s[1] > s[0]);
+        assert!(s[1] > s[2]);
+    }
+
+    #[test]
+    fn identical_devices_split_evenly() {
+        let d = DeviceParams::host(1e12, 1e11);
+        let s = model1_shares(&[d, d, d, d], &kernel());
+        for v in &s {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn system_matches_closed_form() {
+        let devs = machine();
+        let k = kernel();
+        let n = 1_000_000u64;
+        let sol = model1_system(&devs, &k, n).unwrap();
+        let shares = model1_shares(&devs, &k);
+        let total: f64 = sol.iterations.iter().sum();
+        assert!((total - n as f64).abs() < 1e-6 * n as f64);
+        for (ni, share) in sol.iterations.iter().zip(&shares) {
+            assert!((ni / n as f64 - share).abs() < 1e-9);
+        }
+        assert!(sol.t0 > 0.0);
+    }
+
+    #[test]
+    fn t0_equals_per_device_completion() {
+        let devs = machine();
+        let k = kernel();
+        let sol = model1_system(&devs, &k, 10_000_000).unwrap();
+        for (ni, dev) in sol.iterations.iter().zip(&devs) {
+            let t = ni / iteration_rate(dev, &k);
+            assert!((t - sol.t0).abs() / sol.t0 < 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn system_and_closed_form_always_agree(
+            perfs in proptest::collection::vec(1e9f64..2e12, 1..6),
+            n in 1u64..100_000_000,
+        ) {
+            let devs: Vec<DeviceParams> =
+                perfs.iter().map(|&p| DeviceParams::host(p, 1e20)).collect();
+            let k = kernel();
+            let sol = model1_system(&devs, &k, n).unwrap();
+            let shares = model1_shares(&devs, &k);
+            for (ni, share) in sol.iterations.iter().zip(&shares) {
+                prop_assert!((ni / n as f64 - share).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,605 @@
+//! The simulation engine.
+//!
+//! A resource-calendar discrete-event simulator: every device owns two
+//! resources — a *compute engine* and a *DMA engine* — and accelerators
+//! additionally contend on a shared *bus group* (the two K40s of one K80
+//! card share a PCIe slot). Submitting an operation reserves the
+//! resource from `max(ready, resource free)` for the operation's
+//! modelled duration and returns the completion instant. Because
+//! operation durations never depend on future decisions, this computes
+//! exactly the schedule an event-queue simulator would, deterministically
+//! and in O(ops).
+//!
+//! The separation of DMA and compute engines — with *separate upload
+//! and download engines* per device, since PCIe is full duplex — is
+//! what lets dynamic chunking overlap data movement with computation
+//! and drain output chunks while later inputs stream in (the effect
+//! behind SCHED_DYNAMIC's wins on data-intensive kernels in Fig. 5);
+//! the `overlap` switch exists so the ablation bench can turn it off.
+
+use crate::device::{DeviceId, MemoryKind};
+use crate::machine::Machine;
+use crate::memory::UNIFIED_PENALTY;
+use crate::noise::NoiseModel;
+use crate::time::{SimSpan, SimTime};
+use crate::trace::{OpKind, Trace};
+use homp_model::roofline::{attainable_rate, KernelIntensity};
+use std::collections::HashMap;
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Host to device.
+    H2D,
+    /// Device to host.
+    D2H,
+}
+
+/// Within-device scheduling of a chunk among the device's teams
+/// (`dist_schedule(teams: …)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TeamSched {
+    /// Model the device as one aggregate resource (the default — the
+    /// between-device figures of the paper use this).
+    #[default]
+    Aggregate,
+    /// Static even split among teams: the chunk finishes with its
+    /// slowest team.
+    Block,
+    /// Dynamic within-device chunking: teams grab sub-chunks, smoothing
+    /// internal noise at the cost of the scheduling machinery.
+    Dynamic,
+}
+
+/// A unit of kernel work: `iters` iterations of a loop with the given
+/// per-iteration intensity.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkWork<'a> {
+    /// Number of loop iterations.
+    pub iters: u64,
+    /// Per-iteration cost descriptor.
+    pub intensity: &'a KernelIntensity,
+    /// Relative cost multiplier of this chunk against the uniform
+    /// intensity (1.0 = uniform). Irregular loops — the motivation for
+    /// dynamic chunking in §IV-A.2 — give later/heavier chunks larger
+    /// weights via [`crate::engine::ChunkWork::weighted`].
+    pub weight: f64,
+}
+
+impl<'a> ChunkWork<'a> {
+    /// Uniform-cost chunk.
+    pub fn new(iters: u64, intensity: &'a KernelIntensity) -> Self {
+        Self { iters, intensity, weight: 1.0 }
+    }
+
+    /// Scale this chunk's compute cost by `weight`.
+    pub fn weighted(mut self, weight: f64) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "weight must be >= 0, got {weight}");
+        self.weight = weight;
+        self
+    }
+}
+
+/// The simulator. One instance simulates one machine; [`Engine::reset`]
+/// rewinds the clock between offload regions while keeping the machine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    machine: Machine,
+    noise: NoiseModel,
+    /// Whether DMA and compute may overlap (true mirrors real hardware).
+    pub overlap: bool,
+    compute_free: Vec<SimTime>,
+    h2d_free: Vec<SimTime>,
+    d2h_free: Vec<SimTime>,
+    bus_free: HashMap<(u32, Dir), SimTime>,
+    op_seq: Vec<u64>,
+    trace: Trace,
+}
+
+impl Engine {
+    /// New engine over `machine` with the given noise model.
+    pub fn new(machine: Machine, noise: NoiseModel) -> Self {
+        let n = machine.len();
+        Self {
+            machine,
+            noise,
+            overlap: true,
+            compute_free: vec![SimTime::ZERO; n],
+            h2d_free: vec![SimTime::ZERO; n],
+            d2h_free: vec![SimTime::ZERO; n],
+            bus_free: HashMap::new(),
+            op_seq: vec![0; n],
+            trace: Trace::new(),
+        }
+    }
+
+    /// Convenience: noiseless engine (exactness tests, ablations).
+    pub fn noiseless(machine: Machine) -> Self {
+        Self::new(machine, NoiseModel::disabled())
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.machine.len()
+    }
+
+    /// Rewind the clock and clear the trace; noise sequence numbers also
+    /// restart so a reset engine replays identically.
+    pub fn reset(&mut self) {
+        for t in &mut self.compute_free {
+            *t = SimTime::ZERO;
+        }
+        for t in &mut self.h2d_free {
+            *t = SimTime::ZERO;
+        }
+        for t in &mut self.d2h_free {
+            *t = SimTime::ZERO;
+        }
+        self.bus_free.clear();
+        for s in &mut self.op_seq {
+            *s = 0;
+        }
+        self.trace.clear();
+    }
+
+    /// Recorded trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Take ownership of the trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// When the device's compute engine is next free.
+    pub fn compute_free_at(&self, dev: DeviceId) -> SimTime {
+        self.compute_free[dev as usize]
+    }
+
+    /// When the device's DMA engines are both next free (upload and
+    /// download engines are separate — PCIe is full duplex).
+    pub fn dma_free_at(&self, dev: DeviceId) -> SimTime {
+        self.h2d_free[dev as usize].max(self.d2h_free[dev as usize])
+    }
+
+    fn next_seq(&mut self, dev: DeviceId) -> u64 {
+        let s = &mut self.op_seq[dev as usize];
+        *s += 1;
+        *s
+    }
+
+    /// Noiseless ground-truth duration of `work` on `dev` — the value
+    /// noise perturbs, exposed for tests and the profiling module.
+    pub fn pure_compute_span(&self, dev: DeviceId, work: &ChunkWork<'_>) -> SimSpan {
+        let d = &self.machine.devices[dev as usize];
+        let rate = attainable_rate(work.intensity, d.sustained_flops(), d.sustained_bw());
+        SimSpan::from_secs(work.iters as f64 * work.intensity.flops_per_iter * work.weight / rate)
+    }
+
+    /// Noiseless ground-truth duration of a `bytes`-byte transfer.
+    pub fn pure_transfer_span(&self, dev: DeviceId, bytes: u64) -> SimSpan {
+        let d = &self.machine.devices[dev as usize];
+        match (d.memory, d.link) {
+            (MemoryKind::Shared, _) | (_, None) => SimSpan::ZERO,
+            (MemoryKind::Discrete, Some(l)) => SimSpan::from_secs(l.hockney.time(bytes as f64)),
+            (MemoryKind::Unified, Some(l)) => {
+                SimSpan::from_secs(l.hockney.time(bytes as f64) * UNIFIED_PENALTY)
+            }
+        }
+    }
+
+    /// Submit a data transfer that may begin at `ready`. Returns the
+    /// completion instant. Shared-memory devices return `ready`
+    /// immediately and record nothing (mapping is free).
+    pub fn transfer(
+        &mut self,
+        dev: DeviceId,
+        bytes: u64,
+        dir: Dir,
+        ready: SimTime,
+        label: &str,
+    ) -> SimTime {
+        let span = self.pure_transfer_span(dev, bytes);
+        if span == SimSpan::ZERO {
+            return ready;
+        }
+        let seq = self.next_seq(dev);
+        let jitter = self.noise.factor(dev, seq);
+        let span = span.scale(jitter);
+
+        let d = &self.machine.devices[dev as usize];
+        let group = d.link.expect("non-shared device has a link").bus_group;
+        let bus_free = *self.bus_free.get(&(group, dir)).unwrap_or(&SimTime::ZERO);
+        let engine_free = match dir {
+            Dir::H2D => self.h2d_free[dev as usize],
+            Dir::D2H => self.d2h_free[dev as usize],
+        };
+        let mut start = ready.max(engine_free).max(bus_free);
+        if !self.overlap {
+            // Ablation mode: the device cannot move data while computing,
+            // and uses a single half-duplex DMA engine.
+            start = start
+                .max(self.compute_free[dev as usize])
+                .max(self.h2d_free[dev as usize])
+                .max(self.d2h_free[dev as usize]);
+        }
+        let end = start + span;
+        match dir {
+            Dir::H2D => self.h2d_free[dev as usize] = end,
+            Dir::D2H => self.d2h_free[dev as usize] = end,
+        }
+        if !self.overlap {
+            self.h2d_free[dev as usize] = self.h2d_free[dev as usize].max(end);
+            self.d2h_free[dev as usize] = self.d2h_free[dev as usize].max(end);
+        }
+        self.bus_free.insert((group, dir), end);
+        if !self.overlap {
+            self.compute_free[dev as usize] = self.compute_free[dev as usize].max(end);
+        }
+        let kind = match dir {
+            Dir::H2D => OpKind::H2D,
+            Dir::D2H => OpKind::D2H,
+        };
+        self.trace.record(dev, kind, start, end, bytes, label);
+        end
+    }
+
+    /// Submit kernel work that may begin at `ready` (typically the
+    /// completion of its input transfer). Returns the completion instant.
+    pub fn compute(
+        &mut self,
+        dev: DeviceId,
+        work: &ChunkWork<'_>,
+        ready: SimTime,
+        label: &str,
+    ) -> SimTime {
+        self.compute_teams(dev, work, ready, label, TeamSched::Aggregate)
+    }
+
+    /// Like [`Engine::compute`], but modelling the *within-device*
+    /// distribution among the device's teams — the
+    /// `dist_schedule(teams: …)` level of the paper's extension. Each
+    /// team draws its own noise, so static team distribution exposes the
+    /// device's internal imbalance (the chunk finishes when its slowest
+    /// team does), while dynamic team scheduling smooths it.
+    pub fn compute_teams(
+        &mut self,
+        dev: DeviceId,
+        work: &ChunkWork<'_>,
+        ready: SimTime,
+        label: &str,
+        sched: TeamSched,
+    ) -> SimTime {
+        if work.iters == 0 {
+            return ready;
+        }
+        let seq = self.next_seq(dev);
+        let span = match sched {
+            TeamSched::Aggregate => {
+                let jitter = self.noise.factor(dev, seq);
+                self.pure_compute_span(dev, work).scale(jitter)
+            }
+            TeamSched::Block => {
+                // Even split over teams; per-team rate = aggregate/teams;
+                // the chunk completes when the slowest team does.
+                let teams = self.machine.devices[dev as usize].teams.max(1) as u64;
+                let pure = self.pure_compute_span(dev, work).as_secs();
+                let per_iter = pure / work.iters as f64 * teams as f64;
+                let base = work.iters / teams;
+                let rem = work.iters % teams;
+                let mut worst: f64 = 0.0;
+                for t in 0..teams {
+                    let iters_t = base + u64::from(t < rem);
+                    let jitter =
+                        self.noise.factor(dev, seq.wrapping_mul(1031).wrapping_add(t));
+                    worst = worst.max(iters_t as f64 * per_iter * jitter);
+                }
+                SimSpan::from_secs(worst)
+            }
+            TeamSched::Dynamic => {
+                // Greedy within-device chunk queue: 8 sub-chunks per team,
+                // each grabbed by the least-loaded team.
+                let teams = self.machine.devices[dev as usize].teams.max(1) as u64;
+                let pure = self.pure_compute_span(dev, work).as_secs();
+                let per_iter = pure / work.iters as f64 * teams as f64;
+                let subchunks = teams * 8;
+                let mut team_free = vec![0.0f64; teams as usize];
+                let base = work.iters / subchunks;
+                let rem = work.iters % subchunks;
+                for c in 0..subchunks {
+                    let iters_c = base + u64::from(c < rem);
+                    if iters_c == 0 {
+                        continue;
+                    }
+                    let jitter =
+                        self.noise.factor(dev, seq.wrapping_mul(2053).wrapping_add(c));
+                    let (slot, _) = team_free
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .expect("at least one team");
+                    team_free[slot] += iters_c as f64 * per_iter * jitter;
+                }
+                let worst = team_free.iter().fold(0.0f64, |a, &b| a.max(b));
+                SimSpan::from_secs(worst)
+            }
+        };
+        let start = ready.max(self.compute_free[dev as usize]);
+        let end = start + span;
+        self.compute_free[dev as usize] = end;
+        if !self.overlap {
+            self.h2d_free[dev as usize] = self.h2d_free[dev as usize].max(end);
+            self.d2h_free[dev as usize] = self.d2h_free[dev as usize].max(end);
+        }
+        self.trace.record(dev, OpKind::Kernel, start, end, work.iters, label);
+        end
+    }
+
+    /// Pay the device's per-offload launch/bookkeeping overhead starting
+    /// no earlier than `ready`. Recorded as INIT.
+    pub fn launch(&mut self, dev: DeviceId, ready: SimTime, label: &str) -> SimTime {
+        let d = &self.machine.devices[dev as usize];
+        let span = SimSpan::from_secs(d.launch_overhead);
+        let start = ready.max(self.compute_free[dev as usize]);
+        let end = start + span;
+        self.compute_free[dev as usize] = end;
+        self.trace.record(dev, OpKind::Init, start, end, 0, label);
+        end
+    }
+
+    /// Barrier across devices: every device waits until the last one's
+    /// `completion`. Records a SYNC event per waiting device and returns
+    /// the barrier release time. `completions[i]` is the completion time
+    /// of `devices[i]`.
+    pub fn barrier(&mut self, devices: &[DeviceId], completions: &[SimTime]) -> SimTime {
+        assert_eq!(devices.len(), completions.len());
+        let release = completions.iter().copied().max().unwrap_or(SimTime::ZERO);
+        for (&d, &c) in devices.iter().zip(completions) {
+            if release > c {
+                self.trace.record(d, OpKind::Sync, c, release, 0, "barrier");
+            }
+            self.compute_free[d as usize] = self.compute_free[d as usize].max(release);
+            self.h2d_free[d as usize] = self.h2d_free[d as usize].max(release);
+            self.d2h_free[d as usize] = self.d2h_free[d as usize].max(release);
+        }
+        release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    fn axpy_intensity() -> KernelIntensity {
+        KernelIntensity {
+            flops_per_iter: 2.0,
+            mem_elems_per_iter: 3.0,
+            data_elems_per_iter: 3.0,
+            elem_bytes: 8.0,
+        }
+    }
+
+    #[test]
+    fn transfer_then_compute_serializes_per_chunk() {
+        let mut e = Engine::noiseless(Machine::four_k40());
+        let k = axpy_intensity();
+        let t1 = e.transfer(0, 1_000_000, Dir::H2D, SimTime::ZERO, "x");
+        let t2 = e.compute(0, &ChunkWork::new(100_000, &k), t1, "axpy");
+        assert!(t2 > t1);
+        assert!(t1 > SimTime::ZERO);
+    }
+
+    #[test]
+    fn host_transfers_are_free() {
+        let mut e = Engine::noiseless(Machine::two_cpus_two_mics());
+        let t = e.transfer(0, 1 << 30, Dir::H2D, SimTime::from_secs(1.0), "x");
+        assert_eq!(t, SimTime::from_secs(1.0));
+        assert!(e.trace().is_empty());
+    }
+
+    #[test]
+    fn dma_overlaps_compute_when_enabled() {
+        let mut e = Engine::noiseless(Machine::four_k40());
+        let k = axpy_intensity();
+        // Start a long compute, then a transfer for the *next* chunk: it
+        // should start immediately, not after the compute.
+        let c_end = e.compute(0, &ChunkWork::new(20_000_000, &k), SimTime::ZERO, "k0");
+        let x_end = e.transfer(0, 4_000_000, Dir::H2D, SimTime::ZERO, "x1");
+        assert!(x_end < c_end, "transfer {x_end} should finish inside compute {c_end}");
+    }
+
+    #[test]
+    fn no_overlap_mode_serializes() {
+        let mut e = Engine::noiseless(Machine::four_k40());
+        e.overlap = false;
+        let k = axpy_intensity();
+        let c_end = e.compute(0, &ChunkWork::new(10_000_000, &k), SimTime::ZERO, "k0");
+        let x_end = e.transfer(0, 8_000_000, Dir::H2D, SimTime::ZERO, "x1");
+        assert!(x_end > c_end);
+    }
+
+    #[test]
+    fn bus_group_contention_serializes_cards() {
+        // Build a K80-like card explicitly: two K40s on one bus group.
+        let m = Machine::new(
+            "k80-shared",
+            vec![
+                crate::device::nvidia_k40(0, 0),
+                crate::device::nvidia_k40(1, 0),
+                crate::device::nvidia_k40(2, 1),
+            ],
+        );
+        let mut e = Engine::noiseless(m);
+        let a = e.transfer(0, 12_000_000, Dir::H2D, SimTime::ZERO, "a");
+        let b = e.transfer(1, 12_000_000, Dir::H2D, SimTime::ZERO, "b");
+        let c = e.transfer(2, 12_000_000, Dir::H2D, SimTime::ZERO, "c");
+        assert!(b > a, "same-card transfer must wait");
+        assert!((c.as_secs() - a.as_secs()).abs() < 1e-12, "other card is independent");
+    }
+
+    #[test]
+    fn compute_respects_device_speed() {
+        let e = Engine::noiseless(Machine::two_cpus_two_mics());
+        let k = KernelIntensity {
+            flops_per_iter: 1000.0,
+            mem_elems_per_iter: 1.0,
+            data_elems_per_iter: 1.0,
+            elem_bytes: 8.0,
+        };
+        let w = ChunkWork::new(1_000_000, &k);
+        let cpu = e.pure_compute_span(0, &w);
+        let mic = e.pure_compute_span(2, &w);
+        // MIC sustains similar flops to one CPU socket at 0.45 eff of
+        // 1.21 TF ≈ 545 GF vs CPU 530 GF — close; just check positive.
+        assert!(cpu.as_secs() > 0.0 && mic.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn determinism_across_resets() {
+        let mut e = Engine::new(Machine::four_k40(), NoiseModel::new(7, 0.03));
+        let k = axpy_intensity();
+        let run = |e: &mut Engine| {
+            e.reset();
+            let mut last = SimTime::ZERO;
+            for i in 0..10 {
+                let t = e.transfer(0, 1 << 20, Dir::H2D, last, "x");
+                last = e.compute(0, &ChunkWork::new(10_000, &k), t, &format!("c{i}"));
+            }
+            last
+        };
+        let a = run(&mut e);
+        let b = run(&mut e);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn barrier_records_sync_and_aligns() {
+        let mut e = Engine::noiseless(Machine::four_k40());
+        let k = axpy_intensity();
+        let c0 = e.compute(0, &ChunkWork::new(1_000_000, &k), SimTime::ZERO, "k");
+        let c1 = e.compute(1, &ChunkWork::new(2_000_000, &k), SimTime::ZERO, "k");
+        let rel = e.barrier(&[0, 1], &[c0, c1]);
+        assert_eq!(rel, c1);
+        assert_eq!(e.compute_free_at(0), rel);
+        let b = e.trace().breakdown(4);
+        assert!(b.busy(0, OpKind::Sync).as_secs() > 0.0);
+        assert_eq!(b.busy(1, OpKind::Sync), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn zero_iterations_cost_nothing() {
+        let mut e = Engine::noiseless(Machine::four_k40());
+        let k = axpy_intensity();
+        let t = e.compute(0, &ChunkWork::new(0, &k), SimTime::ZERO, "k");
+        assert_eq!(t, SimTime::ZERO);
+        assert!(e.trace().is_empty());
+    }
+
+    #[test]
+    fn launch_overhead_is_paid_once_per_call() {
+        let mut e = Engine::noiseless(Machine::four_k40());
+        let t1 = e.launch(0, SimTime::ZERO, "offload");
+        assert!((t1.as_secs() - 10e-6).abs() < 1e-12);
+        let t2 = e.launch(0, SimTime::ZERO, "offload");
+        assert!((t2.as_secs() - 20e-6).abs() < 1e-12, "serialized on compute engine");
+    }
+
+    #[test]
+    fn unified_memory_pays_penalty() {
+        let mut m = Machine::four_k40();
+        m.devices[0].memory = MemoryKind::Unified;
+        let e = Engine::noiseless(m);
+        let plain = e.pure_transfer_span(1, 1 << 20);
+        let unified = e.pure_transfer_span(0, 1 << 20);
+        assert!(unified.as_secs() > plain.as_secs() * 10.0);
+    }
+}
+
+#[cfg(test)]
+mod team_tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::noise::NoiseModel;
+
+    fn work_intensity() -> KernelIntensity {
+        KernelIntensity {
+            flops_per_iter: 100.0,
+            mem_elems_per_iter: 1.0,
+            data_elems_per_iter: 0.0,
+            elem_bytes: 8.0,
+        }
+    }
+
+    #[test]
+    fn noiseless_team_scheds_agree_with_aggregate() {
+        // Without noise and with iters divisible by teams, all three
+        // team policies produce identical spans.
+        let k = work_intensity();
+        let teams = Machine::four_k40().devices[0].teams as u64;
+        let iters = teams * 8 * 1000;
+        let mut spans = Vec::new();
+        for sched in [TeamSched::Aggregate, TeamSched::Block, TeamSched::Dynamic] {
+            let mut e = Engine::noiseless(Machine::four_k40());
+            let end = e.compute_teams(
+                0,
+                &ChunkWork::new(iters, &k),
+                SimTime::ZERO,
+                "t",
+                sched,
+            );
+            spans.push(end.as_secs());
+        }
+        assert!((spans[0] - spans[1]).abs() < 1e-15, "block {spans:?}");
+        assert!((spans[0] - spans[2]).abs() < 1e-12, "dynamic {spans:?}");
+    }
+
+    #[test]
+    fn noisy_team_block_is_slowest_and_dynamic_recovers() {
+        // With per-team noise, static team distribution waits for the
+        // slowest team (max of many draws), aggregate draws once, and
+        // dynamic smooths toward the mean.
+        let k = work_intensity();
+        let iters = 1_000_000u64;
+        let run = |sched: TeamSched, seed: u64| {
+            let mut e = Engine::new(Machine::four_k40(), NoiseModel::new(seed, 0.06));
+            e.compute_teams(0, &ChunkWork::new(iters, &k), SimTime::ZERO, "t", sched)
+                .as_secs()
+        };
+        let mean = |sched: TeamSched| {
+            (0..20).map(|s| run(sched, s)).sum::<f64>() / 20.0
+        };
+        let agg = mean(TeamSched::Aggregate);
+        let block = mean(TeamSched::Block);
+        let dynamic = mean(TeamSched::Dynamic);
+        assert!(block > agg, "block {block} should exceed aggregate {agg} on average");
+        assert!(dynamic < block, "dynamic {dynamic} should beat block {block}");
+    }
+
+    #[test]
+    fn team_remainder_handled() {
+        // iters not divisible by teams: the extra-iteration teams bound
+        // the span, but everything still completes.
+        let k = work_intensity();
+        let mut e = Engine::noiseless(Machine::four_k40());
+        let end = e.compute_teams(
+            0,
+            &ChunkWork::new(7, &k),
+            SimTime::ZERO,
+            "t",
+            TeamSched::Block,
+        );
+        assert!(end.as_secs() > 0.0);
+        // 7 iterations over 15 teams: worst team has 1 iteration at
+        // per-team rate = aggregate/15.
+        let pure = e.pure_compute_span(0, &ChunkWork::new(7, &k)).as_secs();
+        let expect = pure / 7.0 * 15.0;
+        assert!((end.as_secs() - expect).abs() < 1e-15);
+    }
+}

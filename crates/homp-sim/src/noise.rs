@@ -1,0 +1,158 @@
+//! Deterministic performance jitter.
+//!
+//! Real devices never hit exactly their modelled rate: DVFS, cache
+//! effects, and OS noise perturb every chunk. The simulator reproduces
+//! this with a *deterministic* perturbation derived from a SplitMix64
+//! hash of `(seed, device, operation sequence number)`, so experiments
+//! are bit-for-bit reproducible while static (BLOCK) distributions still
+//! exhibit the small load imbalance the paper reports (<5% average,
+//! Fig. 6) and dynamic schedulers have something to correct.
+
+/// SplitMix64 — tiny, high-quality 64-bit mixer (public domain
+/// constants from Steele et al.).
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Stateless mix of several words — used to derive independent streams
+/// per (device, sequence) pair without storing per-pair state.
+pub fn mix(words: &[u64]) -> u64 {
+    let mut acc = 0x243F_6A88_85A3_08D3u64; // pi digits
+    for &w in words {
+        acc ^= w;
+        let mut g = SplitMix64::new(acc);
+        acc = g.next_u64();
+    }
+    acc
+}
+
+/// Multiplicative jitter model: each operation's duration is scaled by
+/// `1 + amplitude * u` with `u` uniform in `[-1, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseModel {
+    seed: u64,
+    /// Relative amplitude, e.g. `0.03` for ±3%. Zero disables noise.
+    pub amplitude: f64,
+}
+
+impl NoiseModel {
+    /// Create a noise model. Amplitude must be in `[0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `amplitude` is out of range.
+    pub fn new(seed: u64, amplitude: f64) -> Self {
+        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0,1), got {amplitude}");
+        Self { seed, amplitude }
+    }
+
+    /// A noiseless model (for exactness-checking tests and ablations).
+    pub fn disabled() -> Self {
+        Self { seed: 0, amplitude: 0.0 }
+    }
+
+    /// Jitter factor for operation `seq` on device `device`: a value in
+    /// `[1 - amplitude, 1 + amplitude)`, deterministic in all inputs.
+    pub fn factor(&self, device: u32, seq: u64) -> f64 {
+        if self.amplitude == 0.0 {
+            return 1.0;
+        }
+        let h = mix(&[self.seed, device as u64, seq]);
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64); // [0,1)
+        1.0 + self.amplitude * (2.0 * u - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_sequence_is_stable() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let v = g.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_roughly_uniform() {
+        let mut g = SplitMix64::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| g.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn factor_within_bounds() {
+        let nm = NoiseModel::new(3, 0.05);
+        for dev in 0..8u32 {
+            for seq in 0..1000u64 {
+                let f = nm.factor(dev, seq);
+                assert!((0.95..1.05).contains(&f), "factor {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_deterministic() {
+        let nm = NoiseModel::new(3, 0.05);
+        assert_eq!(nm.factor(2, 10), nm.factor(2, 10));
+        assert_ne!(nm.factor(2, 10), nm.factor(2, 11));
+        assert_ne!(nm.factor(2, 10), nm.factor(3, 10));
+    }
+
+    #[test]
+    fn disabled_noise_is_identity() {
+        let nm = NoiseModel::disabled();
+        assert_eq!(nm.factor(0, 0), 1.0);
+        assert_eq!(nm.factor(5, 99), 1.0);
+    }
+
+    #[test]
+    fn factor_mean_near_one() {
+        let nm = NoiseModel::new(9, 0.05);
+        let n = 50_000u64;
+        let mean: f64 = (0..n).map(|s| nm.factor(0, s)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.001, "mean {mean}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Simulated microbenchmark profiling.
+//!
+//! "For a machine, the last two machine factors are constants, each of
+//! which is obtained through microbenchmark profiling in our experiment"
+//! (Section IV-B.2). The HOMP runtime does not get to read the
+//! simulator's ground-truth device descriptors; instead it *measures*
+//! each device exactly as the real system would:
+//!
+//! * link α and β from two transfer timings of different sizes,
+//! * sustained FLOP/s from a compute-bound micro-kernel,
+//! * memory bandwidth from a streaming (memory-bound) micro-kernel.
+//!
+//! The measurements run on a scratch clone of the engine so they disturb
+//! neither the clock nor the trace, and with noise enabled the estimates
+//! carry realistic error — which is precisely why MODEL_* distributions
+//! are predictions rather than oracles.
+
+use crate::device::DeviceId;
+use crate::engine::{ChunkWork, Dir, Engine};
+use crate::time::SimTime;
+use homp_model::{DeviceParams, Hockney, KernelIntensity};
+
+/// Profile of one device, as measured.
+pub type MeasuredParams = DeviceParams;
+
+/// A strongly compute-bound probe: high arithmetic intensity so the
+/// roofline sits on the compute ceiling of every device in the catalog.
+fn compute_probe() -> KernelIntensity {
+    KernelIntensity {
+        flops_per_iter: 65_536.0,
+        mem_elems_per_iter: 1.0,
+        data_elems_per_iter: 0.0,
+        elem_bytes: 8.0,
+    }
+}
+
+/// A streaming probe: one FLOP per three elements, far below any ridge
+/// point, so time is bounded by memory bandwidth.
+fn stream_probe() -> KernelIntensity {
+    KernelIntensity {
+        flops_per_iter: 1.0,
+        mem_elems_per_iter: 3.0,
+        data_elems_per_iter: 0.0,
+        elem_bytes: 8.0,
+    }
+}
+
+/// Measure one device's parameters via simulated microbenchmarks.
+pub fn profile_device(engine: &Engine, dev: DeviceId) -> MeasuredParams {
+    let mut scratch = engine.clone();
+    scratch.reset();
+
+    // --- link: two sizes, solve alpha + n/beta. -------------------------
+    let small: u64 = 1 << 16; // 64 KiB — latency-sensitive
+    let large: u64 = 1 << 26; // 64 MiB — bandwidth-dominated
+    let t_small_end = scratch.transfer(dev, small, Dir::H2D, SimTime::ZERO, "probe-small");
+    let t_small = t_small_end.as_secs();
+    let before = scratch.dma_free_at(dev);
+    let t_large_end = scratch.transfer(dev, large, Dir::H2D, before, "probe-large");
+    let t_large = (t_large_end - before).as_secs();
+
+    let link = if t_small == 0.0 && t_large == 0.0 {
+        None // shared memory — no measurable link
+    } else {
+        let beta = (large - small) as f64 / (t_large - t_small);
+        let alpha = (t_small - small as f64 / beta).max(0.0);
+        Some(Hockney::new(alpha, beta))
+    };
+
+    // --- compute rate. --------------------------------------------------
+    let cp = compute_probe();
+    let iters = 200_000u64;
+    let ready = scratch.compute_free_at(dev);
+    let end = scratch.compute(dev, &ChunkWork::new(iters, &cp), ready, "probe-flops");
+    let perf_flops = iters as f64 * cp.flops_per_iter / (end - ready).as_secs();
+
+    // --- memory bandwidth. ----------------------------------------------
+    let sp = stream_probe();
+    let iters = 50_000_000u64;
+    let ready = scratch.compute_free_at(dev);
+    let end = scratch.compute(dev, &ChunkWork::new(iters, &sp), ready, "probe-stream");
+    let secs = (end - ready).as_secs();
+    let mem_bw = iters as f64 * sp.mem_elems_per_iter * sp.elem_bytes / secs;
+
+    let launch_overhead = engine.machine().devices[dev as usize].launch_overhead;
+    DeviceParams { perf_flops, mem_bw, link, launch_overhead }
+}
+
+/// Profile every device of the engine's machine.
+pub fn profile_machine(engine: &Engine) -> Vec<MeasuredParams> {
+    (0..engine.n_devices() as DeviceId).map(|d| profile_device(engine, d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::noise::NoiseModel;
+
+    #[test]
+    fn noiseless_profile_recovers_ground_truth() {
+        let e = Engine::noiseless(Machine::full_node());
+        for d in &e.machine().devices {
+            let p = profile_device(&e, d.id);
+            let truth = d.to_params();
+            assert!(
+                (p.perf_flops - truth.perf_flops).abs() / truth.perf_flops < 1e-6,
+                "{}: perf {} vs {}",
+                d.name,
+                p.perf_flops,
+                truth.perf_flops
+            );
+            assert!(
+                (p.mem_bw - truth.mem_bw).abs() / truth.mem_bw < 1e-6,
+                "{}: bw {} vs {}",
+                d.name,
+                p.mem_bw,
+                truth.mem_bw
+            );
+            match (p.link, truth.link) {
+                (None, None) => {}
+                (Some(m), Some(t)) => {
+                    assert!((m.beta - t.beta).abs() / t.beta < 1e-6);
+                    assert!((m.alpha - t.alpha).abs() < 1e-9);
+                }
+                other => panic!("{}: link mismatch {:?}", d.name, other),
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_profile_is_close_but_not_exact() {
+        let e = Engine::new(Machine::four_k40(), NoiseModel::new(5, 0.03));
+        let p = profile_device(&e, 0);
+        let truth = e.machine().devices[0].to_params();
+        let rel = (p.perf_flops - truth.perf_flops).abs() / truth.perf_flops;
+        assert!(rel < 0.05, "estimate should be within noise amplitude, got {rel}");
+        assert!(rel > 0.0, "noisy estimate should not be exact");
+    }
+
+    #[test]
+    fn profiling_does_not_disturb_engine() {
+        let e = Engine::noiseless(Machine::four_k40());
+        let _ = profile_machine(&e);
+        assert!(e.trace().is_empty());
+        assert_eq!(e.compute_free_at(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn host_profiles_without_link() {
+        let e = Engine::noiseless(Machine::two_cpus_two_mics());
+        let p = profile_device(&e, 0);
+        assert!(p.link.is_none());
+        let p_mic = profile_device(&e, 2);
+        assert!(p_mic.link.is_some());
+    }
+}

@@ -1,0 +1,422 @@
+//! Execution tracing and offload-time breakdown.
+//!
+//! Figure 6 of the paper reports the accumulated breakdown of offloading
+//! time per device — runtime init, host-to-device copies, kernel
+//! execution, device-to-host copies, and barrier synchronization — with
+//! a curve of incurred load imbalance (below 5% on average). The
+//! [`Trace`] records every simulated operation with start/end times so
+//! the harness can regenerate that figure, render ASCII Gantt charts for
+//! the examples, and export CSV.
+
+use crate::device::DeviceId;
+use crate::time::{SimSpan, SimTime};
+
+/// Category of a traced operation, the x-axis groups of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Runtime initialization / scheduling bookkeeping.
+    Init,
+    /// Host-to-device data movement.
+    H2D,
+    /// Kernel execution.
+    Kernel,
+    /// Device-to-host data movement.
+    D2H,
+    /// Idle time waiting on the end-of-region barrier (load imbalance).
+    Sync,
+}
+
+impl OpKind {
+    /// All categories in display order.
+    pub const ALL: [OpKind; 5] = [OpKind::Init, OpKind::H2D, OpKind::Kernel, OpKind::D2H, OpKind::Sync];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::Init => "INIT",
+            OpKind::H2D => "H2D",
+            OpKind::Kernel => "KERNEL",
+            OpKind::D2H => "D2H",
+            OpKind::Sync => "SYNC",
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One recorded operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Device the operation ran on.
+    pub device: DeviceId,
+    /// Category.
+    pub kind: OpKind,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+    /// Bytes moved (transfers) or iterations executed (kernels).
+    pub amount: u64,
+    /// Free-form label, e.g. the kernel name or `"chunk 3"`.
+    pub label: String,
+}
+
+impl TraceEvent {
+    /// Duration of the operation.
+    pub fn span(&self) -> SimSpan {
+        self.end - self.start
+    }
+}
+
+/// Recorder for one offload region (or a whole run).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an operation.
+    pub fn record(
+        &mut self,
+        device: DeviceId,
+        kind: OpKind,
+        start: SimTime,
+        end: SimTime,
+        amount: u64,
+        label: impl Into<String>,
+    ) {
+        debug_assert!(end >= start, "event ends before it starts");
+        self.events.push(TraceEvent { device, kind, start, end, amount, label: label.into() });
+    }
+
+    /// All events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all events (reuse between regions).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// The latest end time across all events (the region makespan).
+    pub fn makespan(&self) -> SimTime {
+        self.events.iter().map(|e| e.end).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Per-device, per-category busy time.
+    pub fn breakdown(&self, n_devices: usize) -> Breakdown {
+        let mut busy = vec![[SimSpan::ZERO; 5]; n_devices];
+        let mut completion = vec![SimTime::ZERO; n_devices];
+        for e in &self.events {
+            let d = e.device as usize;
+            assert!(d < n_devices, "event device {} out of range {}", e.device, n_devices);
+            let slot = OpKind::ALL.iter().position(|k| *k == e.kind).expect("known kind");
+            busy[d][slot] += e.span();
+            if e.kind != OpKind::Sync {
+                completion[d] = completion[d].max(e.end);
+            }
+        }
+        Breakdown { busy, completion, makespan: self.makespan() }
+    }
+
+    /// CSV export: `device,kind,start_s,end_s,amount,label`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("device,kind,start_s,end_s,amount,label\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{:.9},{:.9},{},{}\n",
+                e.device,
+                e.kind,
+                e.start.as_secs(),
+                e.end.as_secs(),
+                e.amount,
+                e.label
+            ));
+        }
+        out
+    }
+
+    /// Export as Chrome trace-event JSON (load in `chrome://tracing` or
+    /// [Perfetto](https://ui.perfetto.dev)): one complete event (`"X"`)
+    /// per operation, devices as process IDs, operation kinds as
+    /// threads. Hand-serialized — labels are escaped, no serde needed.
+    pub fn to_chrome_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    c if c.is_control() => vec![' '],
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut out = String::from("[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                r#"  {{"name":"{}","cat":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":{},"tid":"{}","args":{{"amount":{}}}}}"#,
+                escape(&e.label),
+                e.kind,
+                e.start.as_micros(),
+                e.span().as_secs() * 1e6,
+                e.device,
+                e.kind,
+                e.amount
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Render an ASCII Gantt chart, one row per device, `width` columns
+    /// spanning the makespan. Kernel time renders as `#`, H2D as `<`,
+    /// D2H as `>`, init as `i`, sync as `.`.
+    pub fn gantt(&self, n_devices: usize, width: usize) -> String {
+        let total = self.makespan().as_secs();
+        if total <= 0.0 || width == 0 {
+            return String::new();
+        }
+        let mut rows = vec![vec![' '; width]; n_devices];
+        for e in &self.events {
+            let glyph = match e.kind {
+                OpKind::Init => 'i',
+                OpKind::H2D => '<',
+                OpKind::Kernel => '#',
+                OpKind::D2H => '>',
+                OpKind::Sync => '.',
+            };
+            let s = ((e.start.as_secs() / total) * width as f64) as usize;
+            let mut t = ((e.end.as_secs() / total) * width as f64).ceil() as usize;
+            t = t.min(width);
+            for c in &mut rows[e.device as usize][s..t] {
+                // Kernel wins over transfer glyphs when ranges overlap on
+                // a cell boundary; sync never overwrites work.
+                if glyph == '.' && *c != ' ' {
+                    continue;
+                }
+                *c = glyph;
+            }
+        }
+        let mut out = String::new();
+        for (d, row) in rows.iter().enumerate() {
+            out.push_str(&format!("{:<5}|", format!("dev{d}")));
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "       0 {:>width$}\n",
+            format!("{:.3} ms", total * 1e3),
+            width = width.saturating_sub(2)
+        ));
+        out
+    }
+}
+
+/// Per-device busy time by category, plus completion times — the data
+/// behind Figure 6.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    busy: Vec<[SimSpan; 5]>,
+    completion: Vec<SimTime>,
+    makespan: SimTime,
+}
+
+impl Breakdown {
+    /// Busy span for one device/category.
+    pub fn busy(&self, device: DeviceId, kind: OpKind) -> SimSpan {
+        let slot = OpKind::ALL.iter().position(|k| *k == kind).expect("known kind");
+        self.busy[device as usize][slot]
+    }
+
+    /// Device's barrier wait: makespan minus its last non-sync completion.
+    pub fn barrier_wait(&self, device: DeviceId) -> SimSpan {
+        self.makespan - self.completion[device as usize]
+    }
+
+    /// Percentage breakdown for one device over the makespan, in
+    /// `OpKind::ALL` order, where SYNC is the barrier wait. Sums to ≤100
+    /// (gaps between operations are unattributed).
+    pub fn percentages(&self, device: DeviceId) -> [f64; 5] {
+        let total = self.makespan.as_secs();
+        if total <= 0.0 {
+            return [0.0; 5];
+        }
+        let mut out = [0.0; 5];
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            let span = if *k == OpKind::Sync {
+                self.barrier_wait(device)
+            } else {
+                self.busy(device, *k)
+            };
+            out[i] = span.as_secs() / total * 100.0;
+        }
+        out
+    }
+
+    /// The paper's load-imbalance metric: mean over devices of
+    /// `(makespan − completion_d) / makespan`, as a percentage. Devices
+    /// that did no work at all are excluded (CUTOFF removed them).
+    pub fn imbalance_pct(&self) -> f64 {
+        let total = self.makespan.as_secs();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let participants: Vec<&SimTime> =
+            self.completion.iter().filter(|c| c.as_secs() > 0.0).collect();
+        if participants.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 =
+            participants.iter().map(|c| (total - c.as_secs()) / total * 100.0).sum();
+        sum / participants.len() as f64
+    }
+
+    /// Makespan of the region.
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    /// Completion time (last non-sync op) per device.
+    pub fn completion(&self, device: DeviceId) -> SimTime {
+        self.completion[device as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn breakdown_accumulates_by_kind() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::H2D, t(0.0), t(1.0), 100, "x");
+        tr.record(0, OpKind::Kernel, t(1.0), t(3.0), 10, "k");
+        tr.record(0, OpKind::D2H, t(3.0), t(3.5), 50, "y");
+        tr.record(1, OpKind::Kernel, t(0.0), t(4.0), 10, "k");
+        let b = tr.breakdown(2);
+        assert_eq!(b.busy(0, OpKind::H2D).as_secs(), 1.0);
+        assert_eq!(b.busy(0, OpKind::Kernel).as_secs(), 2.0);
+        assert_eq!(b.busy(1, OpKind::Kernel).as_secs(), 4.0);
+        assert_eq!(b.makespan().as_secs(), 4.0);
+    }
+
+    #[test]
+    fn barrier_wait_is_makespan_minus_completion() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::Kernel, t(0.0), t(3.0), 1, "k");
+        tr.record(1, OpKind::Kernel, t(0.0), t(4.0), 1, "k");
+        let b = tr.breakdown(2);
+        assert_eq!(b.barrier_wait(0).as_secs(), 1.0);
+        assert_eq!(b.barrier_wait(1).as_secs(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_perfect_balance_is_zero() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::Kernel, t(0.0), t(2.0), 1, "k");
+        tr.record(1, OpKind::Kernel, t(0.0), t(2.0), 1, "k");
+        assert_eq!(tr.breakdown(2).imbalance_pct(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_averages_over_participants() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::Kernel, t(0.0), t(4.0), 1, "k");
+        tr.record(1, OpKind::Kernel, t(0.0), t(2.0), 1, "k");
+        // device 2 never works — excluded.
+        let b = tr.breakdown(3);
+        // waits: 0% and 50% → mean 25%.
+        assert!((b.imbalance_pct() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentages_sum_to_at_most_100() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::Init, t(0.0), t(0.1), 0, "i");
+        tr.record(0, OpKind::H2D, t(0.1), t(0.5), 10, "x");
+        tr.record(0, OpKind::Kernel, t(0.5), t(0.9), 5, "k");
+        tr.record(1, OpKind::Kernel, t(0.0), t(1.0), 5, "k");
+        let b = tr.breakdown(2);
+        let p: f64 = b.percentages(0).iter().sum();
+        assert!(p <= 100.0 + 1e-9, "sum {p}");
+        assert!(p > 99.0, "device 0 busy+wait should cover the span, got {p}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::Kernel, t(0.0), t(1.0), 42, "axpy");
+        let csv = tr.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "device,kind,start_s,end_s,amount,label");
+        assert!(lines.next().unwrap().contains("KERNEL"));
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::H2D, t(0.0), t(0.5), 1, "x");
+        tr.record(0, OpKind::Kernel, t(0.5), t(1.0), 1, "k");
+        tr.record(1, OpKind::Kernel, t(0.0), t(1.0), 1, "k");
+        let g = tr.gantt(2, 20);
+        assert!(g.contains("dev0 |"));
+        assert!(g.contains('#'));
+        assert!(g.contains('<'));
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::H2D, t(0.0), t(0.5), 1024, r#"chunk "0" \ in"#);
+        tr.record(1, OpKind::Kernel, t(0.5), t(1.0), 99, "axpy");
+        let json = tr.to_chrome_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        // Quotes and backslashes in labels must be escaped.
+        assert!(json.contains(r#"chunk \"0\" \\ in"#));
+        assert!(json.contains(r#""pid":1"#));
+        assert!(json.contains(r#""dur":500"#), "0.5 s = 500000 us: {json}");
+    }
+
+    #[test]
+    fn chrome_json_empty() {
+        assert_eq!(Trace::new().to_chrome_json(), "[\n\n]\n");
+    }
+
+    #[test]
+    fn empty_trace_behaves() {
+        let tr = Trace::new();
+        assert!(tr.is_empty());
+        assert_eq!(tr.makespan(), SimTime::ZERO);
+        assert_eq!(tr.breakdown(2).imbalance_pct(), 0.0);
+        assert_eq!(tr.gantt(2, 10), "");
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests of the simulation engine's resource invariants: no
+//! resource ever runs two operations at once, time never flows
+//! backwards, and replays are bit-identical.
+
+use homp_model::KernelIntensity;
+use homp_sim::{ChunkWork, Dir, Engine, Machine, NoiseModel, OpKind, SimTime, TraceEvent};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Transfer { dev: u32, bytes: u64, dir: Dir, after_ms: f64 },
+    Compute { dev: u32, iters: u64, after_ms: f64 },
+    Launch { dev: u32, after_ms: f64 },
+}
+
+fn arb_op(n_dev: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n_dev, 1u64..100_000_000, prop_oneof![Just(Dir::H2D), Just(Dir::D2H)], 0.0f64..10.0)
+            .prop_map(|(dev, bytes, dir, after_ms)| Op::Transfer { dev, bytes, dir, after_ms }),
+        (0..n_dev, 1u64..50_000_000, 0.0f64..10.0)
+            .prop_map(|(dev, iters, after_ms)| Op::Compute { dev, iters, after_ms }),
+        (0..n_dev, 0.0f64..10.0).prop_map(|(dev, after_ms)| Op::Launch { dev, after_ms }),
+    ]
+}
+
+fn intensity() -> KernelIntensity {
+    KernelIntensity {
+        flops_per_iter: 10.0,
+        mem_elems_per_iter: 2.0,
+        data_elems_per_iter: 2.0,
+        elem_bytes: 8.0,
+    }
+}
+
+fn apply(engine: &mut Engine, ops: &[Op]) -> Vec<SimTime> {
+    let k = intensity();
+    ops.iter()
+        .map(|op| match op {
+            Op::Transfer { dev, bytes, dir, after_ms } => engine.transfer(
+                *dev,
+                *bytes,
+                *dir,
+                SimTime::from_secs(after_ms * 1e-3),
+                "t",
+            ),
+            Op::Compute { dev, iters, after_ms } => engine.compute(
+                *dev,
+                &ChunkWork::new(*iters, &k),
+                SimTime::from_secs(after_ms * 1e-3),
+                "c",
+            ),
+            Op::Launch { dev, after_ms } => {
+                engine.launch(*dev, SimTime::from_secs(after_ms * 1e-3), "l")
+            }
+        })
+        .collect()
+}
+
+/// Which exclusive resource an event occupies.
+fn resource(e: &TraceEvent) -> Option<(u32, u8)> {
+    match e.kind {
+        OpKind::Kernel | OpKind::Init => Some((e.device, 0)), // compute engine
+        OpKind::H2D => Some((e.device, 1)),
+        OpKind::D2H => Some((e.device, 2)),
+        OpKind::Sync => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn no_resource_overlap_and_monotone_time(
+        ops in proptest::collection::vec(arb_op(4), 1..60),
+        seed in 0u64..1000,
+    ) {
+        let mut e = Engine::new(Machine::four_k40(), NoiseModel::new(seed, 0.05));
+        let ends = apply(&mut e, &ops);
+
+        // Completions are valid instants at or after the requested start.
+        for end in &ends {
+            prop_assert!(end.as_secs() >= 0.0);
+            prop_assert!(end.as_secs().is_finite());
+        }
+
+        // Per exclusive resource, events never overlap.
+        let mut by_resource: std::collections::HashMap<(u32, u8), Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for ev in e.trace().events() {
+            prop_assert!(ev.end >= ev.start, "event ends before start");
+            if let Some(r) = resource(ev) {
+                by_resource.entry(r).or_default().push((ev.start.as_secs(), ev.end.as_secs()));
+            }
+        }
+        for ((dev, res), mut spans) in by_resource {
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                prop_assert!(
+                    w[1].0 >= w[0].1 - 1e-12,
+                    "dev {dev} resource {res}: {:?} overlaps {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+
+        // Makespan is the max event end.
+        let max_end = e
+            .trace()
+            .events()
+            .iter()
+            .map(|ev| ev.end.as_secs())
+            .fold(0.0f64, f64::max);
+        prop_assert!((e.trace().makespan().as_secs() - max_end).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reset_replays_identically(
+        ops in proptest::collection::vec(arb_op(4), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let mut e = Engine::new(Machine::four_k40(), NoiseModel::new(seed, 0.06));
+        let a = apply(&mut e, &ops);
+        let trace_a: Vec<_> = e.trace().events().to_vec();
+        e.reset();
+        let b = apply(&mut e, &ops);
+        let trace_b: Vec<_> = e.trace().events().to_vec();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(trace_a, trace_b);
+    }
+
+    #[test]
+    fn noise_bounds_respected(
+        ops in proptest::collection::vec(arb_op(2), 1..30),
+        seed in 0u64..100,
+    ) {
+        // With ±8% noise every op duration is within ±8% of its pure span.
+        let mut noisy = Engine::new(Machine::four_k40(), NoiseModel::new(seed, 0.08));
+        let mut pure = Engine::noiseless(Machine::four_k40());
+        apply(&mut noisy, &ops);
+        apply(&mut pure, &ops);
+        for (n, p) in noisy.trace().events().iter().zip(pure.trace().events()) {
+            let dn = (n.end - n.start).as_secs();
+            let dp = (p.end - p.start).as_secs();
+            prop_assert!(dn >= dp * 0.92 - 1e-15 && dn <= dp * 1.08 + 1e-15,
+                "noisy {dn} vs pure {dp}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration: property-based tests of end-to-end invariants.
+//!
+//! Whatever the machine, kernel shape, algorithm, or noise seed, the
+//! runtime must (a) execute every iteration exactly once, (b) produce a
+//! positive finite makespan, (c) keep CUTOFF survivor sets non-empty,
+//! and (d) be bit-deterministic for equal seeds.
+
+use homp::prelude::*;
+use proptest::prelude::*;
+
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    prop_oneof![
+        (1usize..=4).prop_map(Machine::k40s),
+        Just(Machine::two_cpus_two_mics()),
+        Just(Machine::full_node()),
+    ]
+}
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Block),
+        (0.5f64..20.0).prop_map(|p| Algorithm::Dynamic { chunk_pct: p }),
+        (5.0f64..50.0).prop_map(|p| Algorithm::Guided { chunk_pct: p }),
+        proptest::option::of(0.01f64..0.4).prop_map(|c| Algorithm::Model1 { cutoff: c }),
+        proptest::option::of(0.01f64..0.4).prop_map(|c| Algorithm::Model2 { cutoff: c }),
+        (1.0f64..30.0, proptest::option::of(0.01f64..0.4))
+            .prop_map(|(s, c)| Algorithm::ProfileConst { sample_pct: s, cutoff: c }),
+        (1.0f64..30.0, proptest::option::of(0.01f64..0.4))
+            .prop_map(|(s, c)| Algorithm::ProfileModel { sample_pct: s, cutoff: c }),
+        proptest::option::of(0.01f64..0.4).prop_map(|c| Algorithm::Auto { cutoff: c }),
+    ]
+}
+
+fn arb_intensity() -> impl Strategy<Value = KernelIntensity> {
+    (1.0f64..10_000.0, 0.5f64..100.0, 0.0f64..100.0).prop_map(|(f, m, d)| KernelIntensity {
+        flops_per_iter: f,
+        mem_elems_per_iter: m,
+        data_elems_per_iter: d,
+        elem_bytes: 8.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_iteration_exactly_once(
+        machine in arb_machine(),
+        alg in arb_algorithm(),
+        intensity in arb_intensity(),
+        trip in 1u64..200_000,
+        seed in 0u64..1000,
+    ) {
+        let ndev = machine.len() as u32;
+        let mut rt = Runtime::new(machine, seed);
+        let region = OffloadRegion::builder("prop")
+            .trip_count(trip)
+            .devices((0..ndev).collect())
+            .algorithm(alg)
+            .map_1d("x", homp::lang::MapDir::To, trip, 8,
+                homp::lang::DistPolicy::Align { target: "loop".into(), ratio: 1 })
+            .map_1d("y", homp::lang::MapDir::ToFrom, trip, 8,
+                homp::lang::DistPolicy::Align { target: "loop".into(), ratio: 1 })
+            .build();
+
+        // Count per-iteration hits to prove exactly-once coverage even
+        // for overlapping-looking chunk streams.
+        let mut hits = vec![0u8; trip as usize];
+        let report = {
+            let mut kernel = FnKernel::new(intensity, |r: Range| {
+                for i in r.start..r.end {
+                    hits[i as usize] += 1;
+                }
+            });
+            rt.offload(&region, &mut kernel).unwrap()
+        };
+
+        prop_assert!(hits.iter().all(|&h| h == 1), "some iteration ran 0 or 2 times");
+        prop_assert_eq!(report.counts.iter().sum::<u64>(), trip);
+        prop_assert!(report.makespan.as_secs() > 0.0);
+        prop_assert!(report.makespan.as_secs().is_finite());
+        prop_assert!(!report.kept_devices.is_empty());
+        for &d in &report.kept_devices {
+            prop_assert!(report.devices.contains(&d));
+        }
+    }
+
+    #[test]
+    fn equal_seeds_equal_schedules(
+        alg in arb_algorithm(),
+        trip in 1u64..100_000,
+        seed in 0u64..100,
+    ) {
+        let run = || {
+            let mut rt = Runtime::new(Machine::full_node(), seed);
+            let spec = KernelSpec::Axpy(trip);
+            let region = spec.region((0..7).collect(), alg);
+            let mut k = PhantomKernel::new(spec.intensity());
+            let r = rt.offload(&region, &mut k).unwrap();
+            (r.makespan, r.counts.clone(), r.chunks)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn directive_roundtrip_any_schedule(
+        pct in proptest::option::of(1u64..50),
+        cutoff in proptest::option::of(1u64..50),
+    ) {
+        // Build a directive with random schedule parameters, print it,
+        // reparse it, and check the AST survives.
+        let kind = match pct {
+            Some(p) => format!("SCHED_DYNAMIC,{p}%"),
+            None => "AUTO".to_string(),
+        };
+        let cut = match cutoff {
+            Some(c) => format!(", CUTOFF({c}%)"),
+            None => String::new(),
+        };
+        let src = format!(
+            "#pragma omp parallel for target device(*) distribute \
+             dist_schedule(target:[{kind}]{cut})"
+        );
+        let d1 = parse_directive(&src).unwrap();
+        let d2 = parse_directive(&d1.to_string()).unwrap();
+        prop_assert_eq!(d1, d2);
+    }
+}
