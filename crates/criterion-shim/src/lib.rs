@@ -1,0 +1,158 @@
+//! Offline shim for the subset of the `criterion` API this workspace
+//! uses. The container cannot reach crates.io, so the real crate cannot
+//! be resolved; this path crate keeps `cargo bench` compiling and
+//! produces a simple wall-clock report instead of criterion's
+//! statistical analysis.
+//!
+//! Each benchmark runs a short warm-up, then a fixed number of timed
+//! batches, and reports the median per-iteration time.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const BATCHES: usize = 11;
+const BATCH_ITERS: u64 = 5;
+
+/// Mirror of `criterion::Throughput` (recorded, shown in the report).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Mirror of `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+
+    fn label(&self) -> String {
+        if self.function.is_empty() {
+            self.parameter.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Mirror of `criterion::Bencher` — only `iter` is supported.
+pub struct Bencher {
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..BATCH_ITERS {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / BATCH_ITERS as u32);
+        }
+        samples.sort();
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { per_iter: None };
+    f(&mut b);
+    match b.per_iter {
+        Some(t) => {
+            let extra = match throughput {
+                Some(Throughput::Elements(n)) if t.as_secs_f64() > 0.0 => {
+                    format!("  ({:.3e} elem/s)", n as f64 / t.as_secs_f64())
+                }
+                Some(Throughput::Bytes(n)) if t.as_secs_f64() > 0.0 => {
+                    format!("  ({:.3e} B/s)", n as f64 / t.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!("bench {label:<50} median {t:>12.3?}/iter{extra}");
+        }
+        None => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+    }
+
+    pub fn bench_with_input<I, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) {
+        run_one(
+            &format!("{}/{}", self.name, id.label()),
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

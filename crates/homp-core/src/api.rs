@@ -47,7 +47,7 @@
 
 use crate::compile::{compile, CompileError, CompileOptions};
 use crate::offload::OffloadRegion;
-use crate::runtime::{LoopKernel, OffloadError, OffloadReport, Runtime};
+use crate::runtime::{FaultConfig, LoopKernel, OffloadError, OffloadReport, Runtime};
 use homp_lang::{parse_directive, Env, ParseError};
 use homp_sim::{Machine, NoiseModel};
 
@@ -119,6 +119,19 @@ impl Homp {
         let type_names: Vec<&'static str> =
             machine.devices.iter().map(|d| d.dev_type.homp_name()).collect();
         Self { runtime: Runtime::with_noise(machine, NoiseModel::disabled()), type_names }
+    }
+
+    /// HOMP with fault injection: like [`Homp::with_seed`] plus a
+    /// [`FaultConfig`] governing injected faults and recovery.
+    pub fn with_faults(machine: Machine, seed: u64, faults: FaultConfig) -> Self {
+        let mut homp = Self::with_seed(machine, seed);
+        homp.set_fault_config(faults);
+        homp
+    }
+
+    /// Install (or clear) fault injection on the underlying runtime.
+    pub fn set_fault_config(&mut self, faults: FaultConfig) {
+        self.runtime.set_fault_config(faults);
     }
 
     /// The underlying runtime.

@@ -48,5 +48,8 @@ pub use history::{AffineFit, HistoryDb};
 pub use map::{DataPlan, PlanError};
 pub use offload::{ArrayMap, OffloadRegion, OffloadRegionBuilder};
 pub use region::Range;
-pub use runtime::{FnKernel, LoopKernel, OffloadError, OffloadReport, Runtime};
+pub use runtime::{
+    FaultConfig, FaultSummary, FnKernel, LoopKernel, OffloadError, OffloadReport, RetryPolicy,
+    Runtime,
+};
 pub use sched::Algorithm;

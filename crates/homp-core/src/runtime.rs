@@ -27,10 +27,10 @@ use crate::sched::{block, Algorithm};
 use homp_model::heuristics::{classify, select_algorithm, ClassThresholds};
 use homp_model::{DeviceParams, KernelIntensity};
 use homp_sim::{
-    profile_machine, ChunkWork, DeviceId, Dir, Engine, Machine, NoiseModel, SimSpan, SimTime,
-    Trace,
+    profile_machine, ChunkWork, DeviceId, Dir, Engine, Fault, FaultPlan, Machine, NoiseModel,
+    SimSpan, SimTime, Trace,
 };
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A loop kernel the runtime can distribute: a per-outer-iteration cost
 /// descriptor plus the real computation.
@@ -98,6 +98,12 @@ pub enum OffloadError {
         /// Bytes the device has.
         capacity: u64,
     },
+    /// Every participating device was quarantined by faults before the
+    /// region completed; the remaining iterations have no executor.
+    AllDevicesFailed {
+        /// Iterations that could not be executed.
+        unexecuted: u64,
+    },
 }
 
 impl From<PlanError> for OffloadError {
@@ -115,11 +121,93 @@ impl std::fmt::Display for OffloadError {
                 f,
                 "device {device} cannot hold its mapping: needs {required} bytes, has {capacity}"
             ),
+            OffloadError::AllDevicesFailed { unexecuted } => write!(
+                f,
+                "all participating devices failed; {unexecuted} iterations unexecuted"
+            ),
         }
     }
 }
 
 impl std::error::Error for OffloadError {}
+
+/// Capped exponential backoff for retrying transient faults (DMA
+/// errors, launch timeouts). Backoff time is priced on the virtual
+/// clock and recorded as BACKOFF trace events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt; when exhausted the
+    /// device is quarantined as if it had dropped out.
+    pub max_retries: u32,
+    /// Backoff before the first retry, microseconds.
+    pub base_backoff_us: f64,
+    /// Multiplier applied to the backoff after each retry.
+    pub multiplier: f64,
+    /// Backoff ceiling, microseconds.
+    pub max_backoff_us: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 3, base_backoff_us: 100.0, multiplier: 2.0, max_backoff_us: 10_000.0 }
+    }
+}
+
+/// Fault handling configuration for the runtime: what to inject
+/// (the simulator-side [`FaultPlan`]) and how the proxies respond.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Scripted faults, handed to the simulation engine.
+    pub plan: FaultPlan,
+    /// Retry policy for transient faults.
+    pub retry: RetryPolicy,
+    /// Microseconds of bookkeeping a survivor pays each time it picks
+    /// up work re-queued from a failed device (recorded as FAILOVER).
+    pub requeue_overhead_us: f64,
+}
+
+impl FaultConfig {
+    /// No injection: offloads behave exactly as without a config.
+    pub fn none() -> Self {
+        Self::new(FaultPlan::none())
+    }
+
+    /// Config around a fault plan, with default retry policy.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan, retry: RetryPolicy::default(), requeue_overhead_us: 20.0 }
+    }
+
+    /// Whether the plan can ever produce a fault.
+    pub fn is_none(&self) -> bool {
+        self.plan.is_none()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// What fault handling did during one offload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSummary {
+    /// Transient-fault retries performed (each preceded by a backoff).
+    pub transient_retries: u64,
+    /// Devices quarantined during the region, in quarantine order.
+    pub dropouts: Vec<DeviceId>,
+    /// Chunks re-run on a survivor after their device failed.
+    pub requeued_chunks: u64,
+    /// Iterations re-run on survivors.
+    pub requeued_iters: u64,
+}
+
+impl FaultSummary {
+    /// Whether any fault was observed.
+    pub fn any(&self) -> bool {
+        self.transient_retries > 0 || !self.dropouts.is_empty() || self.requeued_chunks > 0
+    }
+}
 
 /// Result of one offload.
 #[derive(Debug, Clone)]
@@ -139,6 +227,8 @@ pub struct OffloadReport {
     pub chunks: u64,
     /// The paper's load-imbalance metric (Fig. 6 curve), percent.
     pub imbalance_pct: f64,
+    /// What fault handling did (all zeros when no faults fired).
+    pub faults: FaultSummary,
     /// Full operation trace (for Fig. 6 breakdowns and Gantt charts).
     pub trace: Trace,
 }
@@ -154,6 +244,7 @@ impl OffloadReport {
 pub struct Runtime {
     engine: Engine,
     params: Vec<DeviceParams>,
+    faults: FaultConfig,
 }
 
 impl Runtime {
@@ -174,7 +265,7 @@ impl Runtime {
     pub fn with_noise(machine: Machine, noise: NoiseModel) -> Self {
         let params = machine.datasheet_params();
         let engine = Engine::new(machine, noise);
-        Self { engine, params }
+        Self { engine, params, faults: FaultConfig::none() }
     }
 
     /// Runtime whose models receive *microbenchmark-profiled* constants
@@ -183,7 +274,28 @@ impl Runtime {
     pub fn with_profiled_params(machine: Machine, seed: u64) -> Self {
         let engine = Engine::new(machine, NoiseModel::new(seed, Self::DEFAULT_NOISE));
         let params = profile_machine(&engine);
-        Self { engine, params }
+        Self { engine, params, faults: FaultConfig::none() }
+    }
+
+    /// Runtime with fault injection: like [`Runtime::new`] plus a
+    /// [`FaultConfig`] governing injected faults and recovery.
+    pub fn with_fault_config(machine: Machine, seed: u64, faults: FaultConfig) -> Self {
+        let mut rt = Self::new(machine, seed);
+        rt.set_fault_config(faults);
+        rt
+    }
+
+    /// Install (or clear, with [`FaultConfig::none`]) fault injection.
+    /// Only offload paths observe faults; profiling and halo exchange
+    /// use the engine's infallible entry points and are unaffected.
+    pub fn set_fault_config(&mut self, faults: FaultConfig) {
+        self.engine.set_fault_plan(faults.plan.clone());
+        self.faults = faults;
+    }
+
+    /// The active fault configuration.
+    pub fn fault_config(&self) -> &FaultConfig {
+        &self.faults
     }
 
     /// Noiseless runtime (exactness tests, ablations).
@@ -345,7 +457,7 @@ impl Runtime {
                 false,
                 region.algorithm,
                 Some(&plan),
-            )
+            )?
         } else {
             self.offload(region, kernel)?
         };
@@ -483,7 +595,256 @@ impl Runtime {
             }
             Algorithm::Auto { .. } => unreachable!("AUTO resolved above"),
         };
-        Ok(report)
+        report
+    }
+
+    /// Run a fallible engine operation with capped exponential backoff
+    /// on transient faults. Permanent faults and exhausted retries
+    /// surface as `Err` — the caller quarantines the device.
+    fn retry_loop<F>(
+        &mut self,
+        dev: DeviceId,
+        ready: SimTime,
+        summary: &mut FaultSummary,
+        mut op: F,
+    ) -> Result<SimTime, Fault>
+    where
+        F: FnMut(&mut Engine, SimTime) -> Result<SimTime, Fault>,
+    {
+        let retry = self.faults.retry;
+        let mut ready = ready;
+        let mut backoff = SimSpan::from_micros(retry.base_backoff_us);
+        let max_backoff = SimSpan::from_micros(retry.max_backoff_us);
+        let mut retries = 0u32;
+        loop {
+            match op(&mut self.engine, ready) {
+                Ok(t) => return Ok(t),
+                Err(f) if f.kind.is_permanent() => return Err(f),
+                Err(f) => {
+                    if retries >= retry.max_retries {
+                        return Err(f);
+                    }
+                    retries += 1;
+                    summary.transient_retries += 1;
+                    ready = self.engine.record_backoff(dev, f.at, backoff, "retry-backoff");
+                    backoff = backoff.scale(retry.multiplier).min(max_backoff);
+                }
+            }
+        }
+    }
+
+    /// Fault-checked transfer with transient-DMA retries.
+    fn fault_transfer(
+        &mut self,
+        dev: DeviceId,
+        bytes: u64,
+        dir: Dir,
+        ready: SimTime,
+        label: &str,
+        summary: &mut FaultSummary,
+    ) -> Result<SimTime, Fault> {
+        self.retry_loop(dev, ready, summary, |e, r| e.try_transfer(dev, bytes, dir, r, label))
+    }
+
+    /// Fault-checked launch with launch-timeout retries.
+    fn fault_launch(
+        &mut self,
+        dev: DeviceId,
+        ready: SimTime,
+        label: &str,
+        summary: &mut FaultSummary,
+    ) -> Result<SimTime, Fault> {
+        self.retry_loop(dev, ready, summary, |e, r| e.try_launch(dev, r, label))
+    }
+
+    /// The static per-device pipeline (launch → map-in → kernel →
+    /// map-out). Returns `(in_done, out_done)`; `kernel.execute` is the
+    /// caller's job and must happen only on `Ok` — that is what makes
+    /// every iteration execute exactly once under faults.
+    #[allow(clippy::too_many_arguments)]
+    fn static_pipeline(
+        &mut self,
+        region: &OffloadRegion,
+        intensity: &KernelIntensity,
+        dev: DeviceId,
+        my: Range,
+        base: SimTime,
+        h2d_bytes: u64,
+        d2h_bytes: u64,
+        summary: &mut FaultSummary,
+    ) -> Result<(SimTime, SimTime), Fault> {
+        let launched = self.fault_launch(dev, base, &region.name, summary)?;
+        let in_done = self.fault_transfer(dev, h2d_bytes, Dir::H2D, launched, "map-in", summary)?;
+        let comp_done = self.engine.try_compute_teams(
+            dev,
+            &chunk_work(region, my, intensity),
+            in_done,
+            &region.name,
+            region.team_sched,
+        )?;
+        let out_done =
+            self.fault_transfer(dev, d2h_bytes, Dir::D2H, comp_done, "map-out", summary)?;
+        Ok((in_done, out_done))
+    }
+
+    /// The chunk pipeline (chunk-in → launch → kernel → chunk-out).
+    /// Returns `(in_done, comp_done, out_done)`.
+    #[allow(clippy::too_many_arguments)]
+    fn chunk_pipeline(
+        &mut self,
+        region: &OffloadRegion,
+        intensity: &KernelIntensity,
+        dev: DeviceId,
+        chunk: Range,
+        start: SimTime,
+        h2d_bytes: u64,
+        d2h_bytes: u64,
+        labels: [&str; 3],
+        summary: &mut FaultSummary,
+    ) -> Result<(SimTime, SimTime, SimTime), Fault> {
+        let in_done =
+            self.fault_transfer(dev, h2d_bytes, Dir::H2D, start, labels[0], summary)?;
+        let launched = self.fault_launch(dev, in_done, labels[1], summary)?;
+        let comp_done = self.engine.try_compute_teams(
+            dev,
+            &chunk_work(region, chunk, intensity),
+            launched,
+            &region.name,
+            region.team_sched,
+        )?;
+        let out_done =
+            self.fault_transfer(dev, d2h_bytes, Dir::D2H, comp_done, labels[2], summary)?;
+        Ok((in_done, comp_done, out_done))
+    }
+
+    /// Stage-1 pipeline of the profiling algorithms (launch → fixed-in →
+    /// sample-in → sample kernel). Returns `(fixed_done, stage1_end,
+    /// measured_throughput)`; an empty sample skips straight to the
+    /// fixed-transfer completion with zero throughput.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_pipeline(
+        &mut self,
+        region: &OffloadRegion,
+        intensity: &KernelIntensity,
+        dev: DeviceId,
+        my: Range,
+        base: SimTime,
+        fixed_bytes: u64,
+        chunk_bytes: u64,
+        summary: &mut FaultSummary,
+    ) -> Result<(SimTime, SimTime, f64), Fault> {
+        let launched = self.fault_launch(dev, base, &region.name, summary)?;
+        let in_fixed =
+            self.fault_transfer(dev, fixed_bytes, Dir::H2D, launched, "map-in-fixed", summary)?;
+        if my.is_empty() {
+            return Ok((in_fixed, in_fixed, 0.0));
+        }
+        let in_done =
+            self.fault_transfer(dev, chunk_bytes, Dir::H2D, in_fixed, "sample-in", summary)?;
+        let comp_done = self.engine.try_compute_teams(
+            dev,
+            &chunk_work(region, my, intensity),
+            in_done,
+            &region.name,
+            region.team_sched,
+        )?;
+        let tp = measured_throughput(my.len(), (comp_done - in_done).as_secs());
+        Ok((in_fixed, comp_done, tp))
+    }
+
+    /// Degraded re-plan: block-split iterations orphaned by failed
+    /// devices over the survivors, repeating if a survivor fails during
+    /// recovery. Terminates because each round either drains `failed`
+    /// or quarantines at least one more device. Errs when no survivor
+    /// remains.
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+        plan: &DataPlan,
+        slots: &[DeviceId],
+        quarantined: &mut [bool],
+        completions: &mut [SimTime],
+        exec_counts: &mut [u64],
+        failed: &mut VecDeque<Range>,
+        chunks: &mut u64,
+        summary: &mut FaultSummary,
+    ) -> Result<(), OffloadError> {
+        let intensity = kernel.intensity();
+        let overhead = SimSpan::from_micros(self.faults.requeue_overhead_us);
+        loop {
+            let total: u64 = failed.iter().map(|r| r.len()).sum();
+            if total == 0 {
+                return Ok(());
+            }
+            let survivors: Vec<usize> =
+                (0..slots.len()).filter(|&s| !quarantined[s]).collect();
+            if survivors.is_empty() {
+                return Err(OffloadError::AllDevicesFailed { unexecuted: total });
+            }
+            // The failure becomes public knowledge once every victim's
+            // proxy has reported in; survivors cannot react earlier.
+            let known_at = completions
+                .iter()
+                .zip(quarantined.iter())
+                .filter(|(_, &q)| q)
+                .map(|(c, _)| *c)
+                .fold(SimTime::ZERO, SimTime::max);
+            let shares = block::block_counts(total, survivors.len());
+            let mut next_failed: VecDeque<Range> = VecDeque::new();
+            for (k, &s) in survivors.iter().enumerate() {
+                let mut need = shares[k];
+                if need == 0 {
+                    continue;
+                }
+                let dev = slots[s];
+                let base = completions[s].max(known_at);
+                let mut cursor = self.engine.record_failover(dev, base, overhead, "requeue");
+                while need > 0 {
+                    let Some(mut r) = failed.pop_front() else { break };
+                    let piece = r.take(need.min(r.len()));
+                    if !r.is_empty() {
+                        failed.push_front(r);
+                    }
+                    need -= piece.len();
+                    if quarantined[s] {
+                        next_failed.push_back(piece);
+                        continue;
+                    }
+                    *chunks += 1;
+                    match self.chunk_pipeline(
+                        region,
+                        &intensity,
+                        dev,
+                        piece,
+                        cursor,
+                        plan.h2d_chunk_bytes(piece.len()),
+                        plan.d2h_chunk_bytes(piece.len()),
+                        ["requeue-in", "requeue-launch", "requeue-out"],
+                        summary,
+                    ) {
+                        Ok((_, _, out_done)) => {
+                            kernel.execute(piece);
+                            exec_counts[s] += piece.len();
+                            summary.requeued_chunks += 1;
+                            summary.requeued_iters += piece.len();
+                            completions[s] = out_done;
+                            cursor = out_done;
+                        }
+                        Err(f) => {
+                            quarantined[s] = true;
+                            summary.dropouts.push(dev);
+                            completions[s] = f.at;
+                            next_failed.push_back(piece);
+                        }
+                    }
+                }
+            }
+            // Whatever the newly dead devices dropped goes around again.
+            next_failed.extend(failed.drain(..));
+            *failed = next_failed;
+        }
     }
 
     /// Single-stage static distribution: one launch, one in-transfer, one
@@ -500,13 +861,17 @@ impl Runtime {
         data_resident: bool,
         algorithm: Algorithm,
         model: Option<&ModelPlan>,
-    ) -> OffloadReport {
+    ) -> Result<OffloadReport, OffloadError> {
         let intensity = kernel.intensity();
         let n = slots.len();
         let mut completions = vec![SimTime::ZERO; n];
         let mut serial_cursor = SimTime::ZERO;
         let mut range = Range::new(0, region.trip_count);
         let mut chunks = 0u64;
+        let mut exec_counts = vec![0u64; n];
+        let mut quarantined = vec![false; n];
+        let mut failed: VecDeque<Range> = VecDeque::new();
+        let mut summary = FaultSummary::default();
 
         for (s, &dev) in slots.iter().enumerate() {
             let my = range.take(counts[s]);
@@ -518,35 +883,54 @@ impl Runtime {
                 continue;
             }
             chunks += 1;
-            let launched = self.engine.launch(dev, base_ready[s], &region.name);
             let h2d_bytes = if data_resident {
                 plan.h2d_chunk_bytes(my.len())
             } else {
                 plan.h2d_bytes(s, my.len())
             };
-            let in_done = self.engine.transfer(dev, h2d_bytes, Dir::H2D, launched, "map-in");
-            if !region.parallel_offload {
-                serial_cursor = in_done;
-            }
-            let comp_done = self.engine.compute_teams(
+            match self.static_pipeline(
+                region,
+                &intensity,
                 dev,
-                &chunk_work(region, my, &intensity),
-                in_done,
-                &region.name,
-                region.team_sched,
-            );
-            kernel.execute(my);
-            let out_done = self.engine.transfer(
-                dev,
+                my,
+                base_ready[s],
+                h2d_bytes,
                 plan.d2h_bytes(s, my.len()),
-                Dir::D2H,
-                comp_done,
-                "map-out",
-            );
-            completions[s] = out_done;
+                &mut summary,
+            ) {
+                Ok((in_done, out_done)) => {
+                    kernel.execute(my);
+                    exec_counts[s] = my.len();
+                    if !region.parallel_offload {
+                        serial_cursor = in_done;
+                    }
+                    completions[s] = out_done;
+                }
+                Err(f) => {
+                    quarantined[s] = true;
+                    summary.dropouts.push(dev);
+                    completions[s] = f.at;
+                    if !region.parallel_offload {
+                        serial_cursor = f.at;
+                    }
+                    failed.push_back(my);
+                }
+            }
         }
         debug_assert!(range.is_empty(), "static plan must cover the loop");
-        self.finish(region, slots, counts.to_vec(), &completions, algorithm, model, chunks)
+        self.recover(
+            region,
+            kernel,
+            plan,
+            slots,
+            &mut quarantined,
+            &mut completions,
+            &mut exec_counts,
+            &mut failed,
+            &mut chunks,
+            &mut summary,
+        )?;
+        Ok(self.finish(region, slots, exec_counts, &completions, algorithm, model, chunks, summary))
     }
 
     /// Multi-stage chunk scheduling with transfer/compute overlap:
@@ -562,89 +946,145 @@ impl Runtime {
         slots: &[DeviceId],
         data_resident: bool,
         algorithm: Algorithm,
-    ) -> OffloadReport {
+    ) -> Result<OffloadReport, OffloadError> {
         let intensity = kernel.intensity();
         let n = slots.len();
         let mut queue = ChunkQueue::new(region.trip_count, n);
         let mut counts = vec![0u64; n];
         let mut completions = vec![SimTime::ZERO; n];
         let mut prev_comp_end = vec![SimTime::ZERO; n];
+        let mut quarantined = vec![false; n];
+        let mut summary = FaultSummary::default();
+        let overhead = SimSpan::from_micros(self.faults.requeue_overhead_us);
 
         // Min-heap of (next grab time, slot); BinaryHeap is a max-heap so
         // order by Reverse.
         let mut heap: BinaryHeap<std::cmp::Reverse<(SimTime, usize)>> = BinaryHeap::new();
 
         // Fixed transfers first (unless the data region already mapped
-        // them), serialized per the non-parallel option.
+        // them), serialized per the non-parallel option. A device that
+        // faults out of its setup never enters the chunk race.
         let mut serial_cursor = SimTime::ZERO;
         for (s, &dev) in slots.iter().enumerate() {
             let base = if region.parallel_offload { SimTime::ZERO } else { serial_cursor };
-            let launched = self.engine.launch(dev, base, &region.name);
-            let ready = if data_resident {
-                launched
-            } else {
-                self.engine.transfer(
-                    dev,
-                    plan.h2d_fixed_bytes(s),
-                    Dir::H2D,
-                    launched,
-                    "map-in-fixed",
-                )
-            };
-            if !region.parallel_offload {
-                serial_cursor = ready;
+            let ready = self.fault_launch(dev, base, &region.name, &mut summary).and_then(
+                |launched| {
+                    if data_resident {
+                        Ok(launched)
+                    } else {
+                        self.fault_transfer(
+                            dev,
+                            plan.h2d_fixed_bytes(s),
+                            Dir::H2D,
+                            launched,
+                            "map-in-fixed",
+                            &mut summary,
+                        )
+                    }
+                },
+            );
+            match ready {
+                Ok(ready) => {
+                    if !region.parallel_offload {
+                        serial_cursor = ready;
+                    }
+                    completions[s] = ready;
+                    heap.push(std::cmp::Reverse((ready, s)));
+                }
+                Err(f) => {
+                    quarantined[s] = true;
+                    summary.dropouts.push(dev);
+                    completions[s] = f.at;
+                    if !region.parallel_offload {
+                        serial_cursor = f.at;
+                    }
+                }
             }
-            completions[s] = ready;
-            heap.push(std::cmp::Reverse((ready, s)));
         }
 
         while let Some(std::cmp::Reverse((grab_at, s))) = heap.pop() {
-            let Some(chunk) = queue.grab(policy) else { break };
+            let Some((chunk, requeued)) = queue.grab_with_origin(policy) else { break };
             let dev = slots[s];
-            counts[s] += chunk.len();
-            let in_done = self.engine.transfer(
+            // Survivors pay failover bookkeeping before re-running an
+            // orphaned chunk.
+            let start = if requeued {
+                self.engine.record_failover(dev, grab_at, overhead, "requeue")
+            } else {
+                grab_at
+            };
+            let labels = if requeued {
+                ["requeue-in", "requeue-launch", "requeue-out"]
+            } else {
+                ["chunk-in", "chunk-launch", "chunk-out"]
+            };
+            match self.chunk_pipeline(
+                region,
+                &intensity,
                 dev,
+                chunk,
+                start,
                 plan.h2d_chunk_bytes(chunk.len()),
-                Dir::H2D,
-                grab_at,
-                "chunk-in",
-            );
-            let launched = self.engine.launch(dev, in_done, "chunk-launch");
-            let comp_done = self.engine.compute_teams(
-                dev,
-                &chunk_work(region, chunk, &intensity),
-                launched,
-                &region.name,
-                region.team_sched,
-            );
-            kernel.execute(chunk);
-            let out_done = self.engine.transfer(
-                dev,
                 plan.d2h_chunk_bytes(chunk.len()),
-                Dir::D2H,
-                comp_done,
-                "chunk-out",
-            );
-            completions[s] = out_done;
-            // Grab the next chunk once this transfer is in *and* the
-            // previous compute has started draining — depth-1 prefetch.
-            let next_grab = in_done.max(prev_comp_end[s]);
-            prev_comp_end[s] = comp_done;
-            heap.push(std::cmp::Reverse((next_grab, s)));
+                labels,
+                &mut summary,
+            ) {
+                Ok((in_done, comp_done, out_done)) => {
+                    kernel.execute(chunk);
+                    counts[s] += chunk.len();
+                    if requeued {
+                        summary.requeued_chunks += 1;
+                        summary.requeued_iters += chunk.len();
+                    }
+                    completions[s] = out_done;
+                    // Grab the next chunk once this transfer is in *and*
+                    // the previous compute has started draining —
+                    // depth-1 prefetch.
+                    let next_grab = in_done.max(prev_comp_end[s]);
+                    prev_comp_end[s] = comp_done;
+                    heap.push(std::cmp::Reverse((next_grab, s)));
+                }
+                Err(f) => {
+                    // The chunk goes back for a survivor; this slot is
+                    // out of the race (no heap re-push).
+                    quarantined[s] = true;
+                    summary.dropouts.push(dev);
+                    completions[s] = f.at;
+                    queue.requeue(chunk);
+                }
+            }
+        }
+        if queue.remaining() > 0 {
+            return Err(OffloadError::AllDevicesFailed { unexecuted: queue.remaining() });
         }
 
         // Final fixed out-transfers (replicated/independent `from` data).
         if !data_resident {
             for (s, &dev) in slots.iter().enumerate() {
+                if quarantined[s] {
+                    continue;
+                }
                 let b = plan.d2h_fixed_bytes(s);
                 if b > 0 {
-                    completions[s] =
-                        self.engine.transfer(dev, b, Dir::D2H, completions[s], "map-out-fixed");
+                    match self.fault_transfer(
+                        dev,
+                        b,
+                        Dir::D2H,
+                        completions[s],
+                        "map-out-fixed",
+                        &mut summary,
+                    ) {
+                        Ok(t) => completions[s] = t,
+                        Err(f) => {
+                            quarantined[s] = true;
+                            summary.dropouts.push(dev);
+                            completions[s] = f.at;
+                        }
+                    }
                 }
             }
         }
         let chunks = queue.chunks_handed();
-        self.finish(region, slots, counts, &completions, algorithm, None, chunks)
+        Ok(self.finish(region, slots, counts, &completions, algorithm, None, chunks, summary))
     }
 
     /// Two-stage profiling: sample, broadcast throughputs, distribute the
@@ -660,7 +1100,7 @@ impl Runtime {
         slots: &[DeviceId],
         data_resident: bool,
         algorithm: Algorithm,
-    ) -> OffloadReport {
+    ) -> Result<OffloadReport, OffloadError> {
         let intensity = kernel.intensity();
         let n = slots.len();
         let mut range = Range::new(0, region.trip_count);
@@ -668,44 +1108,55 @@ impl Runtime {
         let mut throughputs = vec![0.0f64; n];
         let mut stage1_end = vec![SimTime::ZERO; n];
         let mut chunks = 0u64;
+        let mut quarantined = vec![false; n];
+        let mut failed: VecDeque<Range> = VecDeque::new();
+        let mut summary = FaultSummary::default();
 
         // ---- stage 1: sample. -------------------------------------------
+        // A device that faults out of stage 1 keeps zero throughput, so
+        // the stage-2 planner assigns it nothing; its sample re-runs on
+        // the survivors at the end.
         let mut serial_cursor = SimTime::ZERO;
         for (s, &dev) in slots.iter().enumerate() {
             let my = range.take(samples[s]);
-            counts[s] += my.len();
             let base = if region.parallel_offload { SimTime::ZERO } else { serial_cursor };
-            let launched = self.engine.launch(dev, base, &region.name);
             let fixed = if data_resident { 0 } else { plan.h2d_fixed_bytes(s) };
-            let in_fixed =
-                self.engine.transfer(dev, fixed, Dir::H2D, launched, "map-in-fixed");
-            if !region.parallel_offload {
-                serial_cursor = in_fixed;
-            }
-            if my.is_empty() {
-                stage1_end[s] = in_fixed;
-                continue;
-            }
-            chunks += 1;
-            let in_done = self.engine.transfer(
+            match self.sample_pipeline(
+                region,
+                &intensity,
                 dev,
+                my,
+                base,
+                fixed,
                 plan.h2d_chunk_bytes(my.len()),
-                Dir::H2D,
-                in_fixed,
-                "sample-in",
-            );
-            let comp_done = self.engine.compute_teams(
-                dev,
-                &chunk_work(region, my, &intensity),
-                in_done,
-                &region.name,
-                region.team_sched,
-            );
-            kernel.execute(my);
-            throughputs[s] = measured_throughput(my.len(), (comp_done - in_done).as_secs());
-            // The sample's out-data drains with the stage-2 data; record
-            // stage-1 end as the compute completion.
-            stage1_end[s] = comp_done;
+                &mut summary,
+            ) {
+                Ok((in_fixed, end, tp)) => {
+                    if !region.parallel_offload {
+                        serial_cursor = in_fixed;
+                    }
+                    if !my.is_empty() {
+                        chunks += 1;
+                        counts[s] += my.len();
+                        kernel.execute(my);
+                        throughputs[s] = tp;
+                    }
+                    // The sample's out-data drains with the stage-2 data;
+                    // stage-1 end is the compute completion.
+                    stage1_end[s] = end;
+                }
+                Err(f) => {
+                    quarantined[s] = true;
+                    summary.dropouts.push(dev);
+                    stage1_end[s] = f.at;
+                    if !region.parallel_offload {
+                        serial_cursor = f.at;
+                    }
+                    if !my.is_empty() {
+                        failed.push_back(my);
+                    }
+                }
+            }
         }
 
         // ---- broadcast: all proxies learn all throughputs. ---------------
@@ -721,36 +1172,69 @@ impl Runtime {
             // nothing new.
             let d2h_total = plan.d2h_chunk_bytes(counts[s] + my.len())
                 + if data_resident { 0 } else { plan.d2h_fixed_bytes(s) };
+            if quarantined[s] {
+                // Possible only when every throughput is zero and the
+                // planner dumps the remainder on slot 0: hand it to
+                // recovery instead.
+                if !my.is_empty() {
+                    failed.push_back(my);
+                }
+                completions[s] = stage1_end[s];
+                continue;
+            }
             if my.is_empty() {
                 if d2h_total > 0 && counts[s] > 0 {
-                    completions[s] =
-                        self.engine.transfer(dev, d2h_total, Dir::D2H, barrier, "map-out");
+                    match self.fault_transfer(dev, d2h_total, Dir::D2H, barrier, "map-out", &mut summary)
+                    {
+                        Ok(t) => completions[s] = t,
+                        Err(f) => {
+                            quarantined[s] = true;
+                            summary.dropouts.push(dev);
+                            completions[s] = f.at;
+                        }
+                    }
                 }
                 continue;
             }
             chunks += 1;
-            counts[s] += my.len();
-            let in_done = self.engine.transfer(
+            match self.chunk_pipeline(
+                region,
+                &intensity,
                 dev,
-                plan.h2d_chunk_bytes(my.len()),
-                Dir::H2D,
+                my,
                 barrier,
-                "stage2-in",
-            );
-            let launched = self.engine.launch(dev, in_done, "stage2-launch");
-            let comp_done = self.engine.compute_teams(
-                dev,
-                &chunk_work(region, my, &intensity),
-                launched,
-                &region.name,
-                region.team_sched,
-            );
-            kernel.execute(my);
-            completions[s] =
-                self.engine.transfer(dev, d2h_total, Dir::D2H, comp_done, "map-out");
+                plan.h2d_chunk_bytes(my.len()),
+                d2h_total,
+                ["stage2-in", "stage2-launch", "map-out"],
+                &mut summary,
+            ) {
+                Ok((_, _, out_done)) => {
+                    kernel.execute(my);
+                    counts[s] += my.len();
+                    completions[s] = out_done;
+                }
+                Err(f) => {
+                    quarantined[s] = true;
+                    summary.dropouts.push(dev);
+                    completions[s] = f.at;
+                    failed.push_back(my);
+                }
+            }
         }
         debug_assert!(range.is_empty(), "profiled plan must cover the loop");
-        self.finish(region, slots, counts, &completions, algorithm, Some(&mp), chunks)
+        self.recover(
+            region,
+            kernel,
+            plan,
+            slots,
+            &mut quarantined,
+            &mut completions,
+            &mut counts,
+            &mut failed,
+            &mut chunks,
+            &mut summary,
+        )?;
+        Ok(self.finish(region, slots, counts, &completions, algorithm, Some(&mp), chunks, summary))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -763,6 +1247,7 @@ impl Runtime {
         algorithm: Algorithm,
         model: Option<&ModelPlan>,
         chunks: u64,
+        faults: FaultSummary,
     ) -> OffloadReport {
         let release = self.engine.barrier(slots, completions);
         let trace = self.engine.take_trace();
@@ -779,6 +1264,7 @@ impl Runtime {
             kept_devices,
             chunks,
             imbalance_pct: breakdown.imbalance_pct(),
+            faults,
             trace,
         }
     }

@@ -12,6 +12,7 @@
 //! as the paper's proxy threads do).
 
 use crate::region::Range;
+use std::collections::VecDeque;
 
 /// A rule for the size of the next chunk.
 pub trait ChunkPolicy {
@@ -74,10 +75,12 @@ impl ChunkPolicy for GuidedChunks {
 }
 
 /// A shared iteration counter for single-threaded (simulated) chunk
-/// acquisition. The host executor uses an atomic equivalent.
+/// acquisition, plus a re-queue lane for chunks orphaned by a device
+/// failure. The host executor uses an atomic equivalent.
 #[derive(Debug, Clone)]
 pub struct ChunkQueue {
     remaining: Range,
+    requeued: VecDeque<Range>,
     n_devices: usize,
     chunks_handed: u64,
 }
@@ -85,29 +88,54 @@ pub struct ChunkQueue {
 impl ChunkQueue {
     /// Queue over `[0, trip_count)` for `n_devices`.
     pub fn new(trip_count: u64, n_devices: usize) -> Self {
-        Self { remaining: Range::new(0, trip_count), n_devices, chunks_handed: 0 }
+        Self {
+            remaining: Range::new(0, trip_count),
+            requeued: VecDeque::new(),
+            n_devices,
+            chunks_handed: 0,
+        }
     }
 
-    /// Iterations not yet handed out.
+    /// Iterations not yet handed out (fresh plus re-queued).
     pub fn remaining(&self) -> u64 {
-        self.remaining.len()
+        self.remaining.len() + self.requeued.iter().map(|r| r.len()).sum::<u64>()
     }
 
-    /// Number of chunks handed out so far.
+    /// Number of chunks handed out so far (re-queued chunks count again
+    /// when re-grabbed — each hand-out is a scheduling transaction).
     pub fn chunks_handed(&self) -> u64 {
         self.chunks_handed
+    }
+
+    /// Return a chunk whose device failed before completing it. It is
+    /// served (whole) before any fresh chunk, so orphaned work drains
+    /// first.
+    pub fn requeue(&mut self, chunk: Range) {
+        debug_assert!(!chunk.is_empty(), "re-queued chunk must be non-empty");
+        self.requeued.push_back(chunk);
     }
 
     /// Grab the next chunk under `policy`; `None` when the loop is
     /// exhausted.
     pub fn grab(&mut self, policy: &dyn ChunkPolicy) -> Option<Range> {
+        self.grab_with_origin(policy).map(|(r, _)| r)
+    }
+
+    /// Like [`ChunkQueue::grab`], but also reports whether the chunk
+    /// came from the re-queue lane (survivors pay failover bookkeeping
+    /// for those).
+    pub fn grab_with_origin(&mut self, policy: &dyn ChunkPolicy) -> Option<(Range, bool)> {
+        if let Some(r) = self.requeued.pop_front() {
+            self.chunks_handed += 1;
+            return Some((r, true));
+        }
         let rem = self.remaining.len();
         if rem == 0 {
             return None;
         }
         let size = policy.next_chunk(rem, self.n_devices).clamp(1, rem);
         self.chunks_handed += 1;
-        Some(self.remaining.take(size))
+        Some((self.remaining.take(size), false))
     }
 }
 
@@ -180,6 +208,26 @@ mod tests {
             q.chunks_handed()
         };
         assert!(guiq < dynq, "guided {guiq} vs dynamic {dynq}");
+    }
+
+    #[test]
+    fn requeued_chunks_are_served_first_and_whole() {
+        let p = DynamicChunks { chunk: 10 };
+        let mut q = ChunkQueue::new(100, 2);
+        let (a, fresh) = q.grab_with_origin(&p).unwrap();
+        assert!(!fresh);
+        // The device died holding `a`: its iterations go back.
+        q.requeue(a);
+        assert_eq!(q.remaining(), 100);
+        let (b, requeued) = q.grab_with_origin(&p).unwrap();
+        assert!(requeued);
+        assert_eq!(b, a, "orphaned chunk is handed out whole, before fresh work");
+        // Every iteration is still handed out exactly once.
+        let mut total = b.len();
+        while let Some((r, _)) = q.grab_with_origin(&p) {
+            total += r.len();
+        }
+        assert_eq!(total, 100);
     }
 
     #[test]

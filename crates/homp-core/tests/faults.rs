@@ -1,0 +1,247 @@
+//! Fault injection and recovery: every iteration executes exactly once
+//! no matter which device dies mid-region, transient faults are retried
+//! with the configured capped exponential backoff, and fault runs are
+//! bit-reproducible.
+
+use homp_core::{Algorithm, FaultConfig, FnKernel, OffloadRegion, Range, Runtime};
+use homp_lang::{DistPolicy, MapDir};
+use homp_model::KernelIntensity;
+use homp_sim::{FaultPlan, Machine, OpKind};
+
+fn intensity() -> KernelIntensity {
+    KernelIntensity {
+        flops_per_iter: 2.0,
+        mem_elems_per_iter: 3.0,
+        data_elems_per_iter: 3.0,
+        elem_bytes: 8.0,
+    }
+}
+
+fn region(n: u64, alg: Algorithm) -> OffloadRegion {
+    OffloadRegion::builder("axpy")
+        .trip_count(n)
+        .devices(vec![0, 1, 2, 3])
+        .algorithm(alg)
+        .map_1d("x", MapDir::To, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+        .map_1d("y", MapDir::ToFrom, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+        .build()
+}
+
+/// Offload with a per-iteration execution counter; returns the report
+/// and the counter vector.
+fn run_counted(
+    mut rt: Runtime,
+    n: u64,
+    alg: Algorithm,
+) -> (Result<homp_core::OffloadReport, homp_core::OffloadError>, Vec<u32>) {
+    let mut hits = vec![0u32; n as usize];
+    let res = {
+        let mut k = FnKernel::new(intensity(), |r: Range| {
+            for i in r.start..r.end {
+                hits[i as usize] += 1;
+            }
+        });
+        rt.offload(&region(n, alg), &mut k)
+    };
+    (res, hits)
+}
+
+#[test]
+fn mid_region_dropout_executes_every_iteration_exactly_once_per_algorithm() {
+    let n = 100_000u64;
+    for alg in Algorithm::paper_suite() {
+        // Find the healthy makespan, then kill device 2 halfway through.
+        let healthy = run_counted(Runtime::new(Machine::four_k40(), 42), n, alg)
+            .0
+            .unwrap()
+            .makespan
+            .as_secs();
+        let plan = FaultPlan::new(9).with_dropout_at(2, healthy * 0.5);
+        let rt = Runtime::with_fault_config(Machine::four_k40(), 42, FaultConfig::new(plan));
+        let (res, hits) = run_counted(rt, n, alg);
+        let report = res.unwrap();
+
+        assert_eq!(report.faults.dropouts, vec![2], "{alg}: device 2 must drop");
+        assert!(
+            hits.iter().all(|&h| h == 1),
+            "{alg}: every iteration exactly once (min {:?}, max {:?})",
+            hits.iter().min(),
+            hits.iter().max()
+        );
+        assert_eq!(report.counts.iter().sum::<u64>(), n, "{alg}: counts reconcile");
+        assert_eq!(report.counts[2], hits_on_dead_slot(&report), "{alg}");
+
+        // Recovery is visible in the trace: the dropout left a FAULT
+        // event on device 2 and the survivors paid FAILOVER bookkeeping.
+        let faults =
+            report.trace.events().iter().filter(|e| e.kind == OpKind::Fault).count();
+        let failovers =
+            report.trace.events().iter().filter(|e| e.kind == OpKind::Failover).count();
+        assert!(faults >= 1, "{alg}: dropout must be traced");
+        assert!(failovers >= 1, "{alg}: survivors must pay failover overhead");
+        assert!(
+            report.faults.requeued_iters > 0,
+            "{alg}: orphaned work must be re-run on survivors"
+        );
+        // The dead device's makespan grew: recovery is not free.
+        assert!(report.makespan.as_secs() > healthy * 0.5, "{alg}");
+    }
+}
+
+/// The report's slot-2 count (what the dead device still completed).
+fn hits_on_dead_slot(report: &homp_core::OffloadReport) -> u64 {
+    report.counts[2]
+}
+
+#[test]
+fn transient_retries_follow_the_capped_exponential_backoff() {
+    let n = 10_000u64;
+    // Device 1's DMA always fails: the proxy burns all its retries on
+    // the very first transfer, quarantines the device, and recovers.
+    let plan = FaultPlan::new(3).with_transient_dma(1, 1.0);
+    let cfg = FaultConfig::new(plan);
+    let max_retries = cfg.retry.max_retries as usize;
+    let rt = Runtime::with_fault_config(Machine::four_k40(), 42, cfg);
+    let (res, hits) = run_counted(rt, n, Algorithm::Block);
+    let report = res.unwrap();
+
+    assert!(hits.iter().all(|&h| h == 1), "exactly once despite the flaky DMA");
+    assert_eq!(report.faults.dropouts, vec![1], "retries exhausted => quarantine");
+    assert_eq!(report.faults.transient_retries as usize, max_retries);
+
+    // One BACKOFF event per retry, doubling from 100 µs and all on the
+    // flaky device.
+    let mut backoffs: Vec<_> = report
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == OpKind::Backoff)
+        .collect();
+    backoffs.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    assert_eq!(backoffs.len(), max_retries);
+    for (i, ev) in backoffs.iter().enumerate() {
+        assert_eq!(ev.device, 1);
+        let want = 100e-6 * 2f64.powi(i as i32);
+        let got = (ev.end - ev.start).as_secs();
+        assert!((got - want).abs() < 1e-12, "backoff {i}: {got} != {want}");
+    }
+    // Each failed attempt (first try + retries) is traced as a FAULT on
+    // the DMA engine.
+    let dma_faults = report
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == OpKind::Fault && e.device == 1)
+        .count();
+    assert_eq!(dma_faults, max_retries + 1);
+}
+
+#[test]
+fn backoff_ceiling_caps_the_doubling() {
+    let n = 10_000u64;
+    let plan = FaultPlan::new(3).with_transient_dma(1, 1.0);
+    let mut cfg = FaultConfig::new(plan);
+    cfg.retry.max_retries = 8;
+    cfg.retry.max_backoff_us = 400.0;
+    let rt = Runtime::with_fault_config(Machine::four_k40(), 42, cfg);
+    let (res, _) = run_counted(rt, n, Algorithm::Block);
+    let report = res.unwrap();
+    let mut spans: Vec<f64> = report
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == OpKind::Backoff)
+        .map(|e| (e.end - e.start).as_secs())
+        .collect();
+    assert_eq!(spans.len(), 8);
+    spans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert!((spans[0] - 100e-6).abs() < 1e-12);
+    assert!((spans[7] - 400e-6).abs() < 1e-12, "capped at max_backoff_us");
+    assert!(spans.iter().filter(|&&s| (s - 400e-6).abs() < 1e-12).count() >= 6);
+}
+
+#[test]
+fn launch_timeouts_are_retried_like_dma_errors() {
+    let n = 10_000u64;
+    let plan = FaultPlan::new(5).with_launch_timeouts(3, 1.0);
+    let rt = Runtime::with_fault_config(Machine::four_k40(), 42, FaultConfig::new(plan));
+    let (res, hits) = run_counted(rt, n, Algorithm::Dynamic { chunk_pct: 2.0 });
+    let report = res.unwrap();
+    assert!(hits.iter().all(|&h| h == 1));
+    assert_eq!(report.faults.dropouts, vec![3]);
+    assert!(report.faults.transient_retries >= 3);
+    assert_eq!(report.counts[3], 0, "device 3 never completes a chunk");
+}
+
+#[test]
+fn identical_seeds_give_byte_identical_fault_traces() {
+    let n = 50_000u64;
+    for alg in [
+        Algorithm::Block,
+        Algorithm::Dynamic { chunk_pct: 2.0 },
+        Algorithm::ProfileConst { sample_pct: 10.0, cutoff: None },
+    ] {
+        let mk = || {
+            let plan = FaultPlan::new(11)
+                .with_dropout_at(2, 0.3e-3)
+                .with_transient_dma(0, 0.05)
+                .with_launch_timeouts(1, 0.02);
+            let rt =
+                Runtime::with_fault_config(Machine::four_k40(), 42, FaultConfig::new(plan));
+            let (res, hits) = run_counted(rt, n, alg);
+            (res.unwrap(), hits)
+        };
+        let (r1, h1) = mk();
+        let (r2, h2) = mk();
+        assert_eq!(r1.trace.to_csv(), r2.trace.to_csv(), "{alg}: traces must be identical");
+        assert_eq!(r1.makespan, r2.makespan, "{alg}");
+        assert_eq!(r1.counts, r2.counts, "{alg}");
+        assert_eq!(r1.faults, r2.faults, "{alg}");
+        assert_eq!(h1, h2, "{alg}");
+    }
+}
+
+#[test]
+fn all_devices_failing_is_an_error_not_a_hang() {
+    let n = 10_000u64;
+    let mut plan = FaultPlan::new(1);
+    for d in 0..4 {
+        plan = plan.with_dropout_at(d, 1e-6);
+    }
+    let rt = Runtime::with_fault_config(Machine::four_k40(), 42, FaultConfig::new(plan));
+    let (res, hits) = run_counted(rt, n, Algorithm::Block);
+    match res {
+        Err(homp_core::OffloadError::AllDevicesFailed { unexecuted }) => {
+            assert!(unexecuted > 0);
+            assert_eq!(
+                hits.iter().map(|&h| u64::from(h)).sum::<u64>() + unexecuted,
+                n,
+                "executed + unexecuted must account for the whole loop"
+            );
+        }
+        other => panic!("expected AllDevicesFailed, got {other:?}"),
+    }
+    // At-most-once still holds on the way down.
+    assert!(hits.iter().all(|&h| h <= 1));
+}
+
+#[test]
+fn chunked_dropout_requeues_only_the_orphaned_chunk() {
+    let n = 100_000u64;
+    let alg = Algorithm::Dynamic { chunk_pct: 2.0 };
+    let healthy = run_counted(Runtime::new(Machine::four_k40(), 42), n, alg)
+        .0
+        .unwrap()
+        .makespan
+        .as_secs();
+    let plan = FaultPlan::new(2).with_dropout_at(1, healthy * 0.4);
+    let rt = Runtime::with_fault_config(Machine::four_k40(), 42, FaultConfig::new(plan));
+    let (res, hits) = run_counted(rt, n, alg);
+    let report = res.unwrap();
+    assert!(hits.iter().all(|&h| h == 1));
+    // Chunked recovery is local: exactly the chunk in flight on the dead
+    // device is re-queued, not the device's whole share.
+    let chunk = 2_000; // 2% of 100k
+    assert_eq!(report.faults.requeued_chunks, 1);
+    assert_eq!(report.faults.requeued_iters, chunk);
+}

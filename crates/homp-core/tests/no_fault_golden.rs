@@ -1,0 +1,116 @@
+//! No-fault regression: installing `FaultConfig::none()` must leave
+//! schedules, traces and results bit-identical to a runtime that never
+//! heard of faults — and both must match the pre-fault-layer golden
+//! values checked in below (seed 42, four-K40 machine, n = 10 000).
+//!
+//! The golden makespans were captured from the tree as of the commit
+//! that introduced the fault layer, built *without* it; an exact `==`
+//! on the f64 is intentional — the simulator is deterministic, so any
+//! drift here means the fault layer perturbed the no-fault path.
+
+// The golden literals carry every digit `{:.17e}` printed; that excess
+// precision is the point.
+#![allow(clippy::excessive_precision)]
+
+use homp_core::{Algorithm, FaultConfig, FnKernel, OffloadRegion, Range, Runtime};
+use homp_lang::{DistPolicy, MapDir};
+use homp_model::KernelIntensity;
+use homp_sim::Machine;
+
+fn intensity() -> KernelIntensity {
+    KernelIntensity {
+        flops_per_iter: 2.0,
+        mem_elems_per_iter: 3.0,
+        data_elems_per_iter: 3.0,
+        elem_bytes: 8.0,
+    }
+}
+
+fn region(n: u64, alg: Algorithm) -> OffloadRegion {
+    OffloadRegion::builder("axpy")
+        .trip_count(n)
+        .devices(vec![0, 1, 2, 3])
+        .algorithm(alg)
+        .map_1d("x", MapDir::To, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+        .map_1d("y", MapDir::ToFrom, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+        .build()
+}
+
+fn run(mut rt: Runtime, n: u64, alg: Algorithm) -> homp_core::OffloadReport {
+    let mut k = FnKernel::new(intensity(), |_r: Range| {});
+    rt.offload(&region(n, alg), &mut k).unwrap()
+}
+
+/// (algorithm, makespan seconds, chunks, per-slot counts) captured
+/// before the fault layer existed.
+fn golden() -> Vec<(Algorithm, f64, u64, Vec<u64>)> {
+    vec![
+        (Algorithm::Block, 3.73800945033277144e-5, 4, vec![2500, 2500, 2500, 2500]),
+        (
+            Algorithm::Dynamic { chunk_pct: 2.0 },
+            1.75602196287205067e-4,
+            50,
+            vec![2600, 2400, 2600, 2400],
+        ),
+        (
+            Algorithm::Guided { chunk_pct: 20.0 },
+            9.58544502068915498e-5,
+            18,
+            vec![2757, 2796, 2279, 2168],
+        ),
+        (Algorithm::Model1 { cutoff: None }, 3.73800945033277144e-5, 4, vec![2500, 2500, 2500, 2500]),
+        (
+            Algorithm::ProfileConst { sample_pct: 10.0, cutoff: None },
+            6.74080949802270685e-5,
+            8,
+            vec![2541, 2519, 2571, 2369],
+        ),
+    ]
+}
+
+#[test]
+fn no_fault_runs_match_pre_fault_layer_golden_values() {
+    for (alg, makespan, chunks, counts) in golden() {
+        let rep = run(Runtime::new(Machine::four_k40(), 42), 10_000, alg);
+        assert_eq!(rep.makespan.as_secs(), makespan, "{alg}: makespan drifted");
+        assert_eq!(rep.chunks, chunks, "{alg}");
+        assert_eq!(rep.counts, counts, "{alg}");
+        assert!(!rep.faults.any(), "{alg}: no faults were configured");
+    }
+}
+
+#[test]
+fn fault_config_none_is_byte_identical_to_no_fault_config() {
+    for (alg, ..) in golden() {
+        let plain = run(Runtime::new(Machine::four_k40(), 42), 10_000, alg);
+        let noop = run(
+            Runtime::with_fault_config(Machine::four_k40(), 42, FaultConfig::none()),
+            10_000,
+            alg,
+        );
+        assert_eq!(
+            plain.trace.to_csv(),
+            noop.trace.to_csv(),
+            "{alg}: FaultConfig::none() must not perturb the trace"
+        );
+        assert_eq!(plain.makespan, noop.makespan, "{alg}");
+        assert_eq!(plain.counts, noop.counts, "{alg}");
+        assert_eq!(plain.chunks, noop.chunks, "{alg}");
+        assert_eq!(plain.imbalance_pct, noop.imbalance_pct, "{alg}");
+    }
+}
+
+#[test]
+fn inactive_device_plans_do_not_perturb_other_devices() {
+    // A plan that names a device but can never fire (zero rates, no
+    // dropout) still counts as "none" and must change nothing.
+    let plan = homp_sim::FaultPlan::new(99)
+        .with_transient_dma(2, 0.0)
+        .with_launch_timeouts(2, 0.0);
+    assert!(plan.is_none());
+    let alg = Algorithm::Guided { chunk_pct: 20.0 };
+    let plain = run(Runtime::new(Machine::four_k40(), 42), 10_000, alg);
+    let noop =
+        run(Runtime::with_fault_config(Machine::four_k40(), 42, FaultConfig::new(plan)), 10_000, alg);
+    assert_eq!(plain.trace.to_csv(), noop.trace.to_csv());
+}

@@ -18,6 +18,7 @@
 //! the `overlap` switch exists so the ablation bench can turn it off.
 
 use crate::device::{DeviceId, MemoryKind};
+use crate::fault::{Fault, FaultKind, FaultPlan};
 use crate::machine::Machine;
 use crate::memory::UNIFIED_PENALTY;
 use crate::noise::NoiseModel;
@@ -93,6 +94,8 @@ pub struct Engine {
     d2h_free: Vec<SimTime>,
     bus_free: HashMap<(u32, Dir), SimTime>,
     op_seq: Vec<u64>,
+    launch_seq: Vec<u64>,
+    faults: FaultPlan,
     trace: Trace,
 }
 
@@ -109,6 +112,8 @@ impl Engine {
             d2h_free: vec![SimTime::ZERO; n],
             bus_free: HashMap::new(),
             op_seq: vec![0; n],
+            launch_seq: vec![0; n],
+            faults: FaultPlan::none(),
             trace: Trace::new(),
         }
     }
@@ -144,7 +149,25 @@ impl Engine {
         for s in &mut self.op_seq {
             *s = 0;
         }
+        for s in &mut self.launch_seq {
+            *s = 0;
+        }
         self.trace.clear();
+    }
+
+    /// Install a fault plan. Only the fault-checked `try_*` entry points
+    /// consult it; the plain infallible methods (used by profiling and
+    /// halo exchange) behave identically with or without a plan. A
+    /// scripted dropout applies per offload region: [`Engine::reset`]
+    /// rewinds the clock, so the device fails again at the same virtual
+    /// time in the next region.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The installed fault plan ([`FaultPlan::none`] by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Recorded trace so far.
@@ -196,7 +219,8 @@ impl Engine {
 
     /// Submit a data transfer that may begin at `ready`. Returns the
     /// completion instant. Shared-memory devices return `ready`
-    /// immediately and record nothing (mapping is free).
+    /// immediately and record nothing (mapping is free). Never consults
+    /// the fault plan; see [`Engine::try_transfer`].
     pub fn transfer(
         &mut self,
         dev: DeviceId,
@@ -205,9 +229,57 @@ impl Engine {
         ready: SimTime,
         label: &str,
     ) -> SimTime {
+        match self.transfer_impl(dev, bytes, dir, ready, label, false) {
+            Ok(t) => t,
+            Err(_) => unreachable!("faults are not checked"),
+        }
+    }
+
+    /// Fault-checked variant of [`Engine::transfer`]: consults the
+    /// installed [`FaultPlan`] for transient DMA errors and device
+    /// dropout. On a fault, the time burned by the failed attempt is
+    /// charged to the device's engines, a FAULT event is recorded, and
+    /// the returned [`Fault`] carries the detection instant.
+    pub fn try_transfer(
+        &mut self,
+        dev: DeviceId,
+        bytes: u64,
+        dir: Dir,
+        ready: SimTime,
+        label: &str,
+    ) -> Result<SimTime, Fault> {
+        self.transfer_impl(dev, bytes, dir, ready, label, true)
+    }
+
+    /// Release the transfer resources a (possibly failed) transfer held
+    /// until `end`.
+    fn commit_transfer(&mut self, dev: DeviceId, dir: Dir, group: u32, end: SimTime) {
+        match dir {
+            Dir::H2D => self.h2d_free[dev as usize] = end,
+            Dir::D2H => self.d2h_free[dev as usize] = end,
+        }
+        if !self.overlap {
+            self.h2d_free[dev as usize] = self.h2d_free[dev as usize].max(end);
+            self.d2h_free[dev as usize] = self.d2h_free[dev as usize].max(end);
+        }
+        self.bus_free.insert((group, dir), end);
+        if !self.overlap {
+            self.compute_free[dev as usize] = self.compute_free[dev as usize].max(end);
+        }
+    }
+
+    fn transfer_impl(
+        &mut self,
+        dev: DeviceId,
+        bytes: u64,
+        dir: Dir,
+        ready: SimTime,
+        label: &str,
+        check_faults: bool,
+    ) -> Result<SimTime, Fault> {
         let span = self.pure_transfer_span(dev, bytes);
         if span == SimSpan::ZERO {
-            return ready;
+            return Ok(ready);
         }
         let seq = self.next_seq(dev);
         let jitter = self.noise.factor(dev, seq);
@@ -230,24 +302,62 @@ impl Engine {
                 .max(self.d2h_free[dev as usize]);
         }
         let end = start + span;
-        match dir {
-            Dir::H2D => self.h2d_free[dev as usize] = end,
-            Dir::D2H => self.d2h_free[dev as usize] = end,
+        if check_faults {
+            if let Some(tf) = self.faults.fail_at(dev) {
+                if start >= tf {
+                    // The device is already gone; the proxy discovers it
+                    // the moment it tries to submit.
+                    self.trace.record(
+                        dev,
+                        OpKind::Fault,
+                        start,
+                        start,
+                        0,
+                        format!("{label} [dropout]"),
+                    );
+                    return Err(Fault { device: dev, kind: FaultKind::Dropout, at: start });
+                }
+                if end > tf {
+                    // The transfer dies mid-flight; bus and engine are
+                    // held until the failure instant.
+                    self.commit_transfer(dev, dir, group, tf);
+                    self.trace.record(
+                        dev,
+                        OpKind::Fault,
+                        start,
+                        tf,
+                        bytes,
+                        format!("{label} [dropout]"),
+                    );
+                    return Err(Fault { device: dev, kind: FaultKind::Dropout, at: tf });
+                }
+            }
+            if self.faults.dma_fault(dev, seq) {
+                let latency = self
+                    .faults
+                    .device(dev)
+                    .map(|p| SimSpan::from_secs(p.dma_error_latency))
+                    .unwrap_or(SimSpan::ZERO);
+                let fail_end = start + latency;
+                self.commit_transfer(dev, dir, group, fail_end);
+                self.trace.record(
+                    dev,
+                    OpKind::Fault,
+                    start,
+                    fail_end,
+                    bytes,
+                    format!("{label} [dma-error]"),
+                );
+                return Err(Fault { device: dev, kind: FaultKind::TransientDma, at: fail_end });
+            }
         }
-        if !self.overlap {
-            self.h2d_free[dev as usize] = self.h2d_free[dev as usize].max(end);
-            self.d2h_free[dev as usize] = self.d2h_free[dev as usize].max(end);
-        }
-        self.bus_free.insert((group, dir), end);
-        if !self.overlap {
-            self.compute_free[dev as usize] = self.compute_free[dev as usize].max(end);
-        }
+        self.commit_transfer(dev, dir, group, end);
         let kind = match dir {
             Dir::H2D => OpKind::H2D,
             Dir::D2H => OpKind::D2H,
         };
         self.trace.record(dev, kind, start, end, bytes, label);
-        end
+        Ok(end)
     }
 
     /// Submit kernel work that may begin at `ready` (typically the
@@ -260,6 +370,17 @@ impl Engine {
         label: &str,
     ) -> SimTime {
         self.compute_teams(dev, work, ready, label, TeamSched::Aggregate)
+    }
+
+    /// Fault-checked variant of [`Engine::compute`].
+    pub fn try_compute(
+        &mut self,
+        dev: DeviceId,
+        work: &ChunkWork<'_>,
+        ready: SimTime,
+        label: &str,
+    ) -> Result<SimTime, Fault> {
+        self.try_compute_teams(dev, work, ready, label, TeamSched::Aggregate)
     }
 
     /// Like [`Engine::compute`], but modelling the *within-device*
@@ -276,8 +397,37 @@ impl Engine {
         label: &str,
         sched: TeamSched,
     ) -> SimTime {
+        match self.compute_teams_impl(dev, work, ready, label, sched, false) {
+            Ok(t) => t,
+            Err(_) => unreachable!("faults are not checked"),
+        }
+    }
+
+    /// Fault-checked variant of [`Engine::compute_teams`]: consults the
+    /// installed [`FaultPlan`] for device dropout (kernels on a dead
+    /// device fail at the dropout instant).
+    pub fn try_compute_teams(
+        &mut self,
+        dev: DeviceId,
+        work: &ChunkWork<'_>,
+        ready: SimTime,
+        label: &str,
+        sched: TeamSched,
+    ) -> Result<SimTime, Fault> {
+        self.compute_teams_impl(dev, work, ready, label, sched, true)
+    }
+
+    fn compute_teams_impl(
+        &mut self,
+        dev: DeviceId,
+        work: &ChunkWork<'_>,
+        ready: SimTime,
+        label: &str,
+        sched: TeamSched,
+        check_faults: bool,
+    ) -> Result<SimTime, Fault> {
         if work.iters == 0 {
-            return ready;
+            return Ok(ready);
         }
         let seq = self.next_seq(dev);
         let span = match sched {
@@ -332,24 +482,138 @@ impl Engine {
         };
         let start = ready.max(self.compute_free[dev as usize]);
         let end = start + span;
+        if check_faults {
+            if let Some(fault) = self.dropout_check(dev, start, end, work.iters, label) {
+                return Err(fault);
+            }
+        }
         self.compute_free[dev as usize] = end;
         if !self.overlap {
             self.h2d_free[dev as usize] = self.h2d_free[dev as usize].max(end);
             self.d2h_free[dev as usize] = self.d2h_free[dev as usize].max(end);
         }
         self.trace.record(dev, OpKind::Kernel, start, end, work.iters, label);
-        end
+        Ok(end)
+    }
+
+    /// Dropout check shared by compute and launch: an operation that
+    /// would start after the scripted dropout fails at submission; one
+    /// that straddles it holds the compute engine until the failure
+    /// instant and fails there.
+    fn dropout_check(
+        &mut self,
+        dev: DeviceId,
+        start: SimTime,
+        end: SimTime,
+        amount: u64,
+        label: &str,
+    ) -> Option<Fault> {
+        let tf = self.faults.fail_at(dev)?;
+        if start >= tf {
+            self.trace.record(dev, OpKind::Fault, start, start, 0, format!("{label} [dropout]"));
+            return Some(Fault { device: dev, kind: FaultKind::Dropout, at: start });
+        }
+        if end > tf {
+            self.compute_free[dev as usize] = tf;
+            self.trace.record(dev, OpKind::Fault, start, tf, amount, format!("{label} [dropout]"));
+            return Some(Fault { device: dev, kind: FaultKind::Dropout, at: tf });
+        }
+        None
     }
 
     /// Pay the device's per-offload launch/bookkeeping overhead starting
-    /// no earlier than `ready`. Recorded as INIT.
+    /// no earlier than `ready`. Recorded as INIT. Never consults the
+    /// fault plan; see [`Engine::try_launch`].
     pub fn launch(&mut self, dev: DeviceId, ready: SimTime, label: &str) -> SimTime {
+        match self.launch_impl(dev, ready, label, false) {
+            Ok(t) => t,
+            Err(_) => unreachable!("faults are not checked"),
+        }
+    }
+
+    /// Fault-checked variant of [`Engine::launch`]: consults the
+    /// installed [`FaultPlan`] for launch timeouts and device dropout.
+    /// A timed-out launch holds the compute engine until the watchdog
+    /// fires, then fails.
+    pub fn try_launch(&mut self, dev: DeviceId, ready: SimTime, label: &str) -> Result<SimTime, Fault> {
+        self.launch_impl(dev, ready, label, true)
+    }
+
+    fn launch_impl(
+        &mut self,
+        dev: DeviceId,
+        ready: SimTime,
+        label: &str,
+        check_faults: bool,
+    ) -> Result<SimTime, Fault> {
         let d = &self.machine.devices[dev as usize];
         let span = SimSpan::from_secs(d.launch_overhead);
         let start = ready.max(self.compute_free[dev as usize]);
         let end = start + span;
+        // Launches draw from their own sequence counter (not the noise
+        // sequence), so installing a plan never perturbs jitter draws.
+        let lseq = {
+            let s = &mut self.launch_seq[dev as usize];
+            *s += 1;
+            *s
+        };
+        if check_faults {
+            if let Some(fault) = self.dropout_check(dev, start, end, 0, label) {
+                return Err(fault);
+            }
+            if self.faults.launch_fault(dev, lseq) {
+                let latency = self
+                    .faults
+                    .device(dev)
+                    .map(|p| SimSpan::from_secs(p.timeout_latency))
+                    .unwrap_or(SimSpan::ZERO);
+                let fail_end = start + latency;
+                self.compute_free[dev as usize] = fail_end;
+                self.trace.record(
+                    dev,
+                    OpKind::Fault,
+                    start,
+                    fail_end,
+                    0,
+                    format!("{label} [launch-timeout]"),
+                );
+                return Err(Fault { device: dev, kind: FaultKind::LaunchTimeout, at: fail_end });
+            }
+        }
         self.compute_free[dev as usize] = end;
         self.trace.record(dev, OpKind::Init, start, end, 0, label);
+        Ok(end)
+    }
+
+    /// Record a retry backoff on `dev`'s proxy: no device resource is
+    /// held (the proxy simply waits), a BACKOFF event is traced, and
+    /// the instant the retry may begin is returned.
+    pub fn record_backoff(
+        &mut self,
+        dev: DeviceId,
+        from: SimTime,
+        span: SimSpan,
+        label: &str,
+    ) -> SimTime {
+        let end = from + span;
+        self.trace.record(dev, OpKind::Backoff, from, end, 0, label);
+        end
+    }
+
+    /// Record failover bookkeeping on a surviving device picking up
+    /// re-queued work: charges the compute engine like a launch and
+    /// records a FAILOVER event.
+    pub fn record_failover(
+        &mut self,
+        dev: DeviceId,
+        from: SimTime,
+        span: SimSpan,
+        label: &str,
+    ) -> SimTime {
+        let start = from.max(self.compute_free[dev as usize]);
+        let end = start + span;
+        self.compute_free[dev as usize] = end;
+        self.trace.record(dev, OpKind::Failover, start, end, 0, label);
         end
     }
 
@@ -509,6 +773,101 @@ mod tests {
         assert!((t1.as_secs() - 10e-6).abs() < 1e-12);
         let t2 = e.launch(0, SimTime::ZERO, "offload");
         assert!((t2.as_secs() - 20e-6).abs() < 1e-12, "serialized on compute engine");
+    }
+
+    #[test]
+    fn try_ops_without_plan_match_infallible_ops() {
+        let k = axpy_intensity();
+        let run = |fallible: bool| {
+            let mut e = Engine::new(Machine::four_k40(), NoiseModel::new(3, 0.05));
+            let mut last = SimTime::ZERO;
+            for _ in 0..6 {
+                if fallible {
+                    last = e.try_launch(0, last, "l").unwrap();
+                    last = e.try_transfer(0, 1 << 20, Dir::H2D, last, "x").unwrap();
+                    last = e.try_compute(0, &ChunkWork::new(10_000, &k), last, "c").unwrap();
+                } else {
+                    last = e.launch(0, last, "l");
+                    last = e.transfer(0, 1 << 20, Dir::H2D, last, "x");
+                    last = e.compute(0, &ChunkWork::new(10_000, &k), last, "c");
+                }
+            }
+            (last, e.take_trace().to_csv())
+        };
+        assert_eq!(run(false), run(true), "no plan: try_* must be byte-identical");
+    }
+
+    #[test]
+    fn infallible_ops_ignore_installed_plan() {
+        let k = axpy_intensity();
+        let run = |with_plan: bool| {
+            let mut e = Engine::new(Machine::four_k40(), NoiseModel::new(3, 0.05));
+            if with_plan {
+                e.set_fault_plan(
+                    crate::fault::FaultPlan::new(1)
+                        .with_dropout_at(0, 0.0)
+                        .with_transient_dma(0, 1.0),
+                );
+            }
+            let t = e.transfer(0, 1 << 20, Dir::H2D, SimTime::ZERO, "x");
+            let c = e.compute(0, &ChunkWork::new(10_000, &k), t, "c");
+            (c, e.take_trace().to_csv())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn dropout_truncates_inflight_op_and_fails_later_ones() {
+        let k = axpy_intensity();
+        let mut e = Engine::noiseless(Machine::four_k40());
+        // Find when an unfaulted compute would end, then drop the device
+        // mid-kernel.
+        let probe = e.pure_compute_span(0, &ChunkWork::new(10_000_000, &k)).as_secs();
+        let tf = probe / 2.0;
+        e.set_fault_plan(crate::fault::FaultPlan::new(0).with_dropout_at(0, tf));
+        let err = e
+            .try_compute(0, &ChunkWork::new(10_000_000, &k), SimTime::ZERO, "c")
+            .unwrap_err();
+        assert_eq!(err.kind, crate::fault::FaultKind::Dropout);
+        assert!((err.at.as_secs() - tf).abs() < 1e-12, "fails at the dropout instant");
+        // Any later submission fails immediately at its start.
+        let err2 = e.try_launch(0, err.at, "l").unwrap_err();
+        assert_eq!(err2.kind, crate::fault::FaultKind::Dropout);
+        assert!(err2.at >= err.at);
+        // Other devices are unaffected.
+        assert!(e.try_compute(1, &ChunkWork::new(1_000, &k), SimTime::ZERO, "c").is_ok());
+        // The fault shows up in the trace.
+        let b = e.trace().breakdown(4);
+        assert!(b.busy(0, OpKind::Fault).as_secs() > 0.0);
+    }
+
+    #[test]
+    fn transient_dma_burns_latency_and_is_retriable() {
+        let mut e = Engine::noiseless(Machine::four_k40());
+        let mut plan =
+            crate::fault::DeviceFaultPlan { transient_dma_rate: 1.0, ..Default::default() };
+        plan.dma_error_latency = 123e-6;
+        e.set_fault_plan(crate::fault::FaultPlan::new(0).with_device(0, plan));
+        let err = e.try_transfer(0, 1 << 20, Dir::H2D, SimTime::ZERO, "x").unwrap_err();
+        assert_eq!(err.kind, crate::fault::FaultKind::TransientDma);
+        assert!((err.at.as_secs() - 123e-6).abs() < 1e-12);
+        // The failed attempt held the upload engine until the error.
+        let b = e.trace().breakdown(4);
+        assert!((b.busy(0, OpKind::Fault).as_secs() - 123e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_and_failover_are_traced() {
+        let mut e = Engine::noiseless(Machine::four_k40());
+        let t1 = e.record_backoff(0, SimTime::from_secs(1.0), SimSpan::from_micros(100.0), "b");
+        assert!((t1.as_secs() - 1.0001).abs() < 1e-12);
+        // Backoff holds nothing: the compute engine is still free at 0.
+        assert_eq!(e.compute_free_at(0), SimTime::ZERO);
+        let t2 = e.record_failover(0, SimTime::ZERO, SimSpan::from_micros(20.0), "f");
+        assert_eq!(e.compute_free_at(0), t2);
+        let b = e.trace().breakdown(4);
+        assert!(b.busy(0, OpKind::Backoff).as_secs() > 0.0);
+        assert!(b.busy(0, OpKind::Failover).as_secs() > 0.0);
     }
 
     #[test]

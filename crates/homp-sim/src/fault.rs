@@ -1,0 +1,263 @@
+//! Deterministic fault injection.
+//!
+//! Real accelerator nodes lose work to transient DMA errors (ECC/CRC
+//! retries, dropped interrupts), hung kernel launches, and — rarely —
+//! whole devices falling off the bus. A [`FaultPlan`] scripts such
+//! faults onto the virtual clock: every decision is a pure function of
+//! `(seed, device, operation sequence number)`, so a faulty run replays
+//! bit-for-bit, which is what makes recovery testable.
+//!
+//! The plan is *passive*: the engine consults it only through the
+//! fault-checked `try_*` entry points ([`crate::Engine::try_transfer`]
+//! and friends). The plain infallible entry points ignore the plan
+//! entirely, so profiling, halo exchange and any pre-existing caller
+//! behave identically whether or not a plan is installed.
+
+use crate::device::DeviceId;
+use crate::noise::bernoulli;
+use crate::time::SimTime;
+use std::collections::HashMap;
+
+/// Salt for transient-DMA draws (distinct stream from noise draws).
+const SALT_DMA: u64 = 0x0D3A_0D3A;
+/// Salt for launch-timeout draws.
+const SALT_LAUNCH: u64 = 0x1A57_1A57;
+
+/// Category of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A DMA transfer failed mid-flight; retrying may succeed.
+    TransientDma,
+    /// A kernel launch hung until the watchdog fired; retriable.
+    LaunchTimeout,
+    /// The device dropped off the bus at a scripted time; permanent.
+    Dropout,
+}
+
+impl FaultKind {
+    /// Whether retrying on the same device can ever succeed.
+    pub fn is_permanent(&self) -> bool {
+        matches!(self, FaultKind::Dropout)
+    }
+
+    /// Short label used in trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::TransientDma => "dma-error",
+            FaultKind::LaunchTimeout => "launch-timeout",
+            FaultKind::Dropout => "dropout",
+        }
+    }
+}
+
+/// A detected fault: which device failed, how, and when the failure
+/// surfaced on the virtual clock (retries and recovery start here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// The failing device.
+    pub device: DeviceId,
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Instant the proxy observed the failure.
+    pub at: SimTime,
+}
+
+/// Fault program for one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceFaultPlan {
+    /// Probability that any single DMA transfer fails transiently.
+    pub transient_dma_rate: f64,
+    /// Probability that any single kernel launch times out.
+    pub launch_timeout_rate: f64,
+    /// Seconds a failed DMA burns before the error surfaces.
+    pub dma_error_latency: f64,
+    /// Seconds a hung launch burns before the watchdog fires.
+    pub timeout_latency: f64,
+    /// Virtual time (seconds) at which the device permanently drops
+    /// out; `None` means it never does.
+    pub fail_at: Option<f64>,
+}
+
+impl Default for DeviceFaultPlan {
+    fn default() -> Self {
+        Self {
+            transient_dma_rate: 0.0,
+            launch_timeout_rate: 0.0,
+            dma_error_latency: 50e-6,
+            timeout_latency: 1e-3,
+            fail_at: None,
+        }
+    }
+}
+
+impl DeviceFaultPlan {
+    /// Whether this plan can ever produce a fault.
+    pub fn is_active(&self) -> bool {
+        self.transient_dma_rate > 0.0 || self.launch_timeout_rate > 0.0 || self.fail_at.is_some()
+    }
+}
+
+/// Scripted faults for a whole machine: a seed plus per-device
+/// programs. Devices without an entry never fail.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    devices: HashMap<DeviceId, DeviceFaultPlan>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Empty plan with a draw seed (deterministic across runs; two
+    /// plans with the same seed and programs fault identically).
+    pub fn new(seed: u64) -> Self {
+        Self { seed, devices: HashMap::new() }
+    }
+
+    /// Whether the plan can ever produce a fault.
+    pub fn is_none(&self) -> bool {
+        !self.devices.values().any(|p| p.is_active())
+    }
+
+    /// The draw seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Install a full per-device program.
+    pub fn with_device(mut self, device: DeviceId, plan: DeviceFaultPlan) -> Self {
+        self.devices.insert(device, plan);
+        self
+    }
+
+    /// Script a permanent dropout of `device` at virtual second `secs`.
+    pub fn with_dropout_at(mut self, device: DeviceId, secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "dropout time must be >= 0, got {secs}");
+        self.devices.entry(device).or_default().fail_at = Some(secs);
+        self
+    }
+
+    /// Give `device` a per-transfer transient-DMA failure probability.
+    pub fn with_transient_dma(mut self, device: DeviceId, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1], got {rate}");
+        self.devices.entry(device).or_default().transient_dma_rate = rate;
+        self
+    }
+
+    /// Give `device` a per-launch timeout probability.
+    pub fn with_launch_timeouts(mut self, device: DeviceId, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1], got {rate}");
+        self.devices.entry(device).or_default().launch_timeout_rate = rate;
+        self
+    }
+
+    /// The device's program, if it has one.
+    pub fn device(&self, device: DeviceId) -> Option<&DeviceFaultPlan> {
+        self.devices.get(&device)
+    }
+
+    /// The device's scripted dropout instant, if any.
+    pub fn fail_at(&self, device: DeviceId) -> Option<SimTime> {
+        self.device(device).and_then(|p| p.fail_at).map(SimTime::from_secs)
+    }
+
+    /// Deterministic draw: does transfer number `seq` on `device` fail
+    /// transiently?
+    pub fn dma_fault(&self, device: DeviceId, seq: u64) -> bool {
+        match self.device(device) {
+            Some(p) => bernoulli(
+                &[self.seed, device as u64, seq, SALT_DMA],
+                p.transient_dma_rate,
+            ),
+            None => false,
+        }
+    }
+
+    /// Deterministic draw: does launch number `seq` on `device` hang?
+    pub fn launch_fault(&self, device: DeviceId, seq: u64) -> bool {
+        match self.device(device) {
+            Some(p) => bernoulli(
+                &[self.seed, device as u64, seq, SALT_LAUNCH],
+                p.launch_timeout_rate,
+            ),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_none_and_never_faults() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        for d in 0..8u32 {
+            for s in 0..100u64 {
+                assert!(!p.dma_fault(d, s));
+                assert!(!p.launch_fault(d, s));
+            }
+        }
+        assert_eq!(p.fail_at(0), None);
+    }
+
+    #[test]
+    fn builders_activate_the_plan() {
+        assert!(!FaultPlan::new(1).with_dropout_at(2, 0.5).is_none());
+        assert!(!FaultPlan::new(1).with_transient_dma(0, 0.1).is_none());
+        assert!(!FaultPlan::new(1).with_launch_timeouts(0, 0.1).is_none());
+        // A device entry with all-zero rates is still inert.
+        assert!(FaultPlan::new(1).with_device(0, DeviceFaultPlan::default()).is_none());
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_dependent() {
+        let a = FaultPlan::new(7).with_transient_dma(1, 0.5);
+        let b = FaultPlan::new(7).with_transient_dma(1, 0.5);
+        let c = FaultPlan::new(8).with_transient_dma(1, 0.5);
+        let seq_a: Vec<bool> = (0..64).map(|s| a.dma_fault(1, s)).collect();
+        let seq_b: Vec<bool> = (0..64).map(|s| b.dma_fault(1, s)).collect();
+        let seq_c: Vec<bool> = (0..64).map(|s| c.dma_fault(1, s)).collect();
+        assert_eq!(seq_a, seq_b, "same seed replays identically");
+        assert_ne!(seq_a, seq_c, "different seed diverges");
+    }
+
+    #[test]
+    fn rate_extremes_are_exact() {
+        let always = FaultPlan::new(0).with_transient_dma(0, 1.0);
+        let never = FaultPlan::new(0).with_transient_dma(0, 0.0);
+        for s in 0..32 {
+            assert!(always.dma_fault(0, s));
+            assert!(!never.dma_fault(0, s));
+        }
+    }
+
+    #[test]
+    fn dma_and_launch_draws_use_distinct_streams() {
+        let p = FaultPlan::new(3).with_transient_dma(0, 0.5).with_launch_timeouts(0, 0.5);
+        let dma: Vec<bool> = (0..128).map(|s| p.dma_fault(0, s)).collect();
+        let launch: Vec<bool> = (0..128).map(|s| p.launch_fault(0, s)).collect();
+        assert_ne!(dma, launch);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_configured_rate() {
+        let p = FaultPlan::new(11).with_transient_dma(0, 0.25);
+        let n = 20_000u64;
+        let hits = (0..n).filter(|&s| p.dma_fault(0, s)).count() as f64;
+        let rate = hits / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn faults_only_hit_scripted_devices() {
+        let p = FaultPlan::new(5).with_transient_dma(2, 1.0);
+        assert!(p.dma_fault(2, 1));
+        assert!(!p.dma_fault(0, 1));
+        assert!(!p.dma_fault(1, 1));
+    }
+}

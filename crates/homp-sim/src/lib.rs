@@ -14,6 +14,8 @@
 //! * [`machine`] — machines, presets, and the machine description file.
 //! * [`memory`] — per-device memory spaces, copy-vs-share decisions.
 //! * [`engine`] — the resource-calendar simulation core.
+//! * [`fault`] — deterministic fault injection (transient DMA errors,
+//!   launch timeouts, permanent device dropout).
 //! * [`trace`] — operation traces, Fig.-6-style breakdowns, ASCII Gantt.
 //! * [`profile`] — simulated microbenchmark profiling of machine
 //!   constants (the runtime measures devices, it never reads ground
@@ -24,6 +26,7 @@
 
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod machine;
 pub mod memory;
 pub mod noise;
@@ -33,6 +36,7 @@ pub mod trace;
 
 pub use device::{DeviceDescriptor, DeviceId, DeviceType, Link, MemoryKind};
 pub use engine::{ChunkWork, Dir, Engine, TeamSched};
+pub use fault::{DeviceFaultPlan, Fault, FaultKind, FaultPlan};
 pub use machine::{Machine, MachineParseError};
 pub use memory::{mapping_decision, MappingDecision, MemorySpace};
 pub use noise::NoiseModel;

@@ -49,6 +49,21 @@ pub fn mix(words: &[u64]) -> u64 {
     acc
 }
 
+/// Deterministic Bernoulli draw: true with probability `p`, derived
+/// from a stateless [`mix`] of `words`. The fault-injection layer uses
+/// this so that whether an operation fails is a pure function of
+/// `(seed, device, sequence number)` — replays are bit-identical.
+pub fn bernoulli(words: &[u64], p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    let u = (mix(words) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u < p
+}
+
 /// Multiplicative jitter model: each operation's duration is scaled by
 /// `1 + amplitude * u` with `u` uniform in `[-1, 1)`.
 #[derive(Debug, Clone, Copy)]

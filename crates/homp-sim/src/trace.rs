@@ -24,11 +24,32 @@ pub enum OpKind {
     D2H,
     /// Idle time waiting on the end-of-region barrier (load imbalance).
     Sync,
+    /// Time lost to an injected fault (failed DMA, hung launch, or the
+    /// truncated tail of an operation cut short by a device dropout).
+    Fault,
+    /// A proxy backing off before retrying a transiently failed
+    /// operation (no device resource is held).
+    Backoff,
+    /// Recovery bookkeeping on a surviving device picking up work
+    /// re-queued from a failed one.
+    Failover,
 }
 
 impl OpKind {
+    /// Number of categories.
+    pub const N: usize = 8;
+
     /// All categories in display order.
-    pub const ALL: [OpKind; 5] = [OpKind::Init, OpKind::H2D, OpKind::Kernel, OpKind::D2H, OpKind::Sync];
+    pub const ALL: [OpKind; OpKind::N] = [
+        OpKind::Init,
+        OpKind::H2D,
+        OpKind::Kernel,
+        OpKind::D2H,
+        OpKind::Sync,
+        OpKind::Fault,
+        OpKind::Backoff,
+        OpKind::Failover,
+    ];
 
     /// Short label used in reports.
     pub fn label(&self) -> &'static str {
@@ -38,6 +59,9 @@ impl OpKind {
             OpKind::Kernel => "KERNEL",
             OpKind::D2H => "D2H",
             OpKind::Sync => "SYNC",
+            OpKind::Fault => "FAULT",
+            OpKind::Backoff => "BACKOFF",
+            OpKind::Failover => "FAILOVER",
         }
     }
 }
@@ -125,7 +149,7 @@ impl Trace {
 
     /// Per-device, per-category busy time.
     pub fn breakdown(&self, n_devices: usize) -> Breakdown {
-        let mut busy = vec![[SimSpan::ZERO; 5]; n_devices];
+        let mut busy = vec![[SimSpan::ZERO; OpKind::N]; n_devices];
         let mut completion = vec![SimTime::ZERO; n_devices];
         for e in &self.events {
             let d = e.device as usize;
@@ -193,7 +217,8 @@ impl Trace {
 
     /// Render an ASCII Gantt chart, one row per device, `width` columns
     /// spanning the makespan. Kernel time renders as `#`, H2D as `<`,
-    /// D2H as `>`, init as `i`, sync as `.`.
+    /// D2H as `>`, init as `i`, sync as `.`, faults as `X`, retry
+    /// backoff as `~`, failover bookkeeping as `+`.
     pub fn gantt(&self, n_devices: usize, width: usize) -> String {
         let total = self.makespan().as_secs();
         if total <= 0.0 || width == 0 {
@@ -207,6 +232,9 @@ impl Trace {
                 OpKind::Kernel => '#',
                 OpKind::D2H => '>',
                 OpKind::Sync => '.',
+                OpKind::Fault => 'X',
+                OpKind::Backoff => '~',
+                OpKind::Failover => '+',
             };
             let s = ((e.start.as_secs() / total) * width as f64) as usize;
             let mut t = ((e.end.as_secs() / total) * width as f64).ceil() as usize;
@@ -239,7 +267,7 @@ impl Trace {
 /// behind Figure 6.
 #[derive(Debug, Clone)]
 pub struct Breakdown {
-    busy: Vec<[SimSpan; 5]>,
+    busy: Vec<[SimSpan; OpKind::N]>,
     completion: Vec<SimTime>,
     makespan: SimTime,
 }
@@ -259,12 +287,12 @@ impl Breakdown {
     /// Percentage breakdown for one device over the makespan, in
     /// `OpKind::ALL` order, where SYNC is the barrier wait. Sums to ≤100
     /// (gaps between operations are unattributed).
-    pub fn percentages(&self, device: DeviceId) -> [f64; 5] {
+    pub fn percentages(&self, device: DeviceId) -> [f64; OpKind::N] {
         let total = self.makespan.as_secs();
         if total <= 0.0 {
-            return [0.0; 5];
+            return [0.0; OpKind::N];
         }
-        let mut out = [0.0; 5];
+        let mut out = [0.0; OpKind::N];
         for (i, k) in OpKind::ALL.iter().enumerate() {
             let span = if *k == OpKind::Sync {
                 self.barrier_wait(device)

@@ -59,10 +59,16 @@ fn apply(engine: &mut Engine, ops: &[Op]) -> Vec<SimTime> {
 /// Which exclusive resource an event occupies.
 fn resource(e: &TraceEvent) -> Option<(u32, u8)> {
     match e.kind {
-        OpKind::Kernel | OpKind::Init => Some((e.device, 0)), // compute engine
+        // Failed launches/kernels and failover bookkeeping hold the
+        // compute engine like their successful counterparts.
+        OpKind::Kernel | OpKind::Init | OpKind::Failover => Some((e.device, 0)),
         OpKind::H2D => Some((e.device, 1)),
         OpKind::D2H => Some((e.device, 2)),
-        OpKind::Sync => None,
+        // Faults are charged to whichever engine ran the failed op; the
+        // overlap check below cannot attribute them, so skip (they are
+        // exercised by the dedicated fault tests). Backoff holds no
+        // device resource at all.
+        OpKind::Sync | OpKind::Fault | OpKind::Backoff => None,
     }
 }
 
