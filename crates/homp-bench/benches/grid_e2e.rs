@@ -1,0 +1,36 @@
+//! Criterion: the fig5 grid end-to-end, serial vs fanned across
+//! workers. This is the harness's tentpole speedup — the same cells,
+//! the same bytes out, divided over cores — so the jobs=N lines should
+//! shrink roughly linearly until the 42-cell grid runs out of slack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homp_bench::{run_grid_jobs, SEED};
+use homp_core::Algorithm;
+use homp_kernels::KernelSpec;
+use homp_sim::Machine;
+use std::hint::black_box;
+
+fn bench_grid_e2e(c: &mut Criterion) {
+    let machine = Machine::four_k40();
+    let specs = KernelSpec::paper_suite();
+    let algorithms = Algorithm::paper_suite();
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1, 2, 4];
+    if cores > 4 {
+        counts.push(cores);
+    }
+
+    let mut group = c.benchmark_group("grid_e2e/fig5");
+    for jobs in counts {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                black_box(run_grid_jobs(&machine, &specs, &algorithms, SEED, jobs).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_e2e);
+criterion_main!(benches);

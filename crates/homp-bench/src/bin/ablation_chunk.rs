@@ -6,13 +6,16 @@
 //! (0.5%–16%) and the guided first-chunk fraction (5%–50%) on the
 //! heterogeneous full node, reporting time, chunk count, and imbalance.
 
-use homp_bench::{write_artifact, SEED};
+use homp_bench::{experiment, jobs, par_map, write_artifact, SEED};
 use homp_core::{Algorithm, Runtime};
 use homp_kernels::{KernelSpec, PhantomKernel};
 use homp_sim::Machine;
 use std::fmt::Write as _;
 
-fn run(spec: KernelSpec, alg: Algorithm) -> (f64, u64, f64) {
+const DYN_PCTS: [f64; 6] = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+const GUIDED_PCTS: [f64; 5] = [5.0, 10.0, 20.0, 35.0, 50.0];
+
+fn run_point(spec: KernelSpec, alg: Algorithm) -> (f64, u64, f64) {
     let mut rt = Runtime::new(Machine::full_node(), SEED);
     let region = spec.region((0..7).collect(), alg);
     let mut k = PhantomKernel::new(spec.intensity());
@@ -21,24 +24,39 @@ fn run(spec: KernelSpec, alg: Algorithm) -> (f64, u64, f64) {
 }
 
 fn main() {
+    experiment("ablation_chunk", run);
+}
+
+fn run() {
     let specs = [KernelSpec::Axpy(10_000_000), KernelSpec::MatMul(6_144)];
     let mut csv = String::from("kernel,algorithm,pct,time_ms,chunks,imbalance_pct\n");
 
+    // Task list in print order; the fan-out keeps results by index.
+    let mut tasks: Vec<(KernelSpec, &str, f64, Algorithm)> = Vec::new();
     for spec in specs {
-        println!("== Ablation: dynamic chunk size, {} on the full node ==", spec.label());
-        println!("{:>7} {:>12} {:>8} {:>12}", "chunk%", "time (ms)", "chunks", "imbalance%");
-        for pct in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
-            let (ms, chunks, imb) = run(spec, Algorithm::Dynamic { chunk_pct: pct });
-            println!("{pct:>7} {ms:>12.3} {chunks:>8} {imb:>12.2}");
-            let _ = writeln!(csv, "{},dynamic,{pct},{ms:.6},{chunks},{imb:.3}", spec.label());
+        for pct in DYN_PCTS {
+            tasks.push((spec, "dynamic", pct, Algorithm::Dynamic { chunk_pct: pct }));
         }
-        println!("{:>7} {:>12} {:>8} {:>12}", "first%", "time (ms)", "chunks", "imbalance%");
-        for pct in [5.0, 10.0, 20.0, 35.0, 50.0] {
-            let (ms, chunks, imb) = run(spec, Algorithm::Guided { chunk_pct: pct });
-            println!("{pct:>7} {ms:>12.3} {chunks:>8} {imb:>12.2}");
-            let _ = writeln!(csv, "{},guided,{pct},{ms:.6},{chunks},{imb:.3}", spec.label());
+        for pct in GUIDED_PCTS {
+            tasks.push((spec, "guided", pct, Algorithm::Guided { chunk_pct: pct }));
         }
-        println!();
+    }
+    let points = par_map(&tasks, jobs(), |_i, &(spec, _, _, alg)| run_point(spec, alg));
+    homp_bench::count_cells(tasks.len() as u64);
+
+    for (&(spec, kind, pct, _), &(ms, chunks, imb)) in tasks.iter().zip(&points) {
+        if kind == "dynamic" && pct == DYN_PCTS[0] {
+            println!("== Ablation: dynamic chunk size, {} on the full node ==", spec.label());
+            println!("{:>7} {:>12} {:>8} {:>12}", "chunk%", "time (ms)", "chunks", "imbalance%");
+        }
+        if kind == "guided" && pct == GUIDED_PCTS[0] {
+            println!("{:>7} {:>12} {:>8} {:>12}", "first%", "time (ms)", "chunks", "imbalance%");
+        }
+        println!("{pct:>7} {ms:>12.3} {chunks:>8} {imb:>12.2}");
+        let _ = writeln!(csv, "{},{kind},{pct},{ms:.6},{chunks},{imb:.3}", spec.label());
+        if kind == "guided" && pct == GUIDED_PCTS[GUIDED_PCTS.len() - 1] {
+            println!();
+        }
     }
     println!("(small chunks: good balance, high per-chunk overhead; large chunks:");
     println!(" tail imbalance — the middle of the sweep should win)");

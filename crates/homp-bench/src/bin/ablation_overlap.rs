@@ -6,13 +6,13 @@
 //! serialized with compute) should erase SCHED_DYNAMIC's edge over
 //! BLOCK on axpy while leaving compute-bound kernels mostly unchanged.
 
-use homp_bench::{write_artifact, SEED};
+use homp_bench::{experiment, jobs, par_map, write_artifact, SEED};
 use homp_core::{Algorithm, Runtime};
 use homp_kernels::{KernelSpec, PhantomKernel};
 use homp_sim::Machine;
 use std::fmt::Write as _;
 
-fn run(spec: KernelSpec, alg: Algorithm, overlap: bool) -> f64 {
+fn run_point(spec: KernelSpec, alg: Algorithm, overlap: bool) -> f64 {
     let mut rt = Runtime::new(Machine::four_k40(), SEED);
     rt.set_overlap(overlap);
     let region = spec.region(vec![0, 1, 2, 3], alg);
@@ -21,6 +21,10 @@ fn run(spec: KernelSpec, alg: Algorithm, overlap: bool) -> f64 {
 }
 
 fn main() {
+    experiment("ablation_overlap", run);
+}
+
+fn run() {
     println!("== Ablation: transfer/compute overlap (4x K40) ==");
     println!(
         "{:<16} {:>12} {:>12} {:>12} {:>12} {:>14}",
@@ -28,12 +32,23 @@ fn main() {
     );
     let mut csv =
         String::from("kernel,block_overlap_ms,dyn_overlap_ms,block_serial_ms,dyn_serial_ms\n");
-    for spec in KernelSpec::paper_suite() {
-        let dynamic = Algorithm::Dynamic { chunk_pct: 2.0 };
-        let b_ovl = run(spec, Algorithm::Block, true);
-        let d_ovl = run(spec, dynamic, true);
-        let b_ser = run(spec, Algorithm::Block, false);
-        let d_ser = run(spec, dynamic, false);
+    let dynamic = Algorithm::Dynamic { chunk_pct: 2.0 };
+    let tasks: Vec<(KernelSpec, Algorithm, bool)> = KernelSpec::paper_suite()
+        .into_iter()
+        .flat_map(|spec| {
+            [
+                (spec, Algorithm::Block, true),
+                (spec, dynamic, true),
+                (spec, Algorithm::Block, false),
+                (spec, dynamic, false),
+            ]
+        })
+        .collect();
+    let times =
+        par_map(&tasks, jobs(), |_i, &(spec, alg, overlap)| run_point(spec, alg, overlap));
+    homp_bench::count_cells(tasks.len() as u64);
+    for (spec, quad) in KernelSpec::paper_suite().into_iter().zip(times.chunks_exact(4)) {
+        let (b_ovl, d_ovl, b_ser, d_ser) = (quad[0], quad[1], quad[2], quad[3]);
         println!(
             "{:<16} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>13.2}%",
             spec.label(),

@@ -8,38 +8,46 @@
 //! noise draws), while dynamic team chunking smooths back toward the
 //! mean — the same BLOCK-vs-DYNAMIC story, one level down.
 
-use homp_bench::{write_artifact, SEED};
+use homp_bench::{experiment, jobs, par_map, write_artifact, SEED};
 use homp_core::{Algorithm, FnKernel, Range, Runtime};
 use homp_kernels::{matmul, KernelSpec};
 use homp_sim::{Machine, TeamSched};
 use std::fmt::Write as _;
 
 fn main() {
+    experiment("ablation_teams", run);
+}
+
+fn run() {
     let spec = KernelSpec::MatMul(6_144);
     println!("== Ablation: teams-level scheduling, {} on 4x K40 ==", spec.label());
     println!("{:<32} {:>12} {:>12}", "teams policy", "time (ms)", "vs aggregate");
 
     let mut csv = String::from("teams_policy,time_ms\n");
-    let mut base = 0.0;
-    for (label, sched) in [
+    let policies = [
         ("aggregate (between-device only)", TeamSched::Aggregate),
         ("dist_schedule(teams:[BLOCK])", TeamSched::Block),
         ("dist_schedule(teams:[DYNAMIC])", TeamSched::Dynamic),
-    ] {
-        // Average over seeds, like the figures.
-        let mut total = 0.0;
-        for s in 0..5u64 {
-            let mut rt = Runtime::new(Machine::four_k40(), SEED + s * 7919);
-            let mut region = if let KernelSpec::MatMul(n) = spec {
-                matmul::region(n, vec![0, 1, 2, 3], Algorithm::Block)
-            } else {
-                unreachable!()
-            };
-            region.team_sched = sched;
-            let mut k = FnKernel::new(spec.intensity(), |_r: Range| {});
-            total += rt.offload(&region, &mut k).unwrap().time_ms();
-        }
-        let ms = total / 5.0;
+    ];
+    // One task per (policy, seed); the per-policy averages then read the
+    // results back in order, like the figures do.
+    let tasks: Vec<(TeamSched, u64)> =
+        policies.iter().flat_map(|&(_, sched)| (0..5u64).map(move |s| (sched, s))).collect();
+    let times = par_map(&tasks, jobs(), |_i, &(sched, s)| {
+        let mut rt = Runtime::new(Machine::four_k40(), SEED + s * 7919);
+        let mut region = if let KernelSpec::MatMul(n) = spec {
+            matmul::region(n, vec![0, 1, 2, 3], Algorithm::Block)
+        } else {
+            unreachable!()
+        };
+        region.team_sched = sched;
+        let mut k = FnKernel::new(spec.intensity(), |_r: Range| {});
+        rt.offload(&region, &mut k).unwrap().time_ms()
+    });
+    homp_bench::count_cells(policies.len() as u64);
+    let mut base = 0.0;
+    for (&(label, sched), seeds) in policies.iter().zip(times.chunks_exact(5)) {
+        let ms = seeds.iter().sum::<f64>() / 5.0;
         if sched == TeamSched::Aggregate {
             base = ms;
         }

@@ -1,0 +1,145 @@
+//! End-to-end harness timing report.
+//!
+//! Runs every figure/table binary twice — serial (`HOMP_BENCH_JOBS=1`)
+//! and parallel (`HOMP_BENCH_JOBS=N`, N = this machine's available
+//! parallelism unless the variable is already set) — parses the
+//! `[harness] name=… wall_s=… jobs=… cells=…` line each binary prints
+//! to stderr, and writes `BENCH_harness.json` with per-experiment
+//! wall-clock, cells/sec and speedup, plus the combined speedup of the
+//! three headline grids (fig5, fig8, fig9).
+//!
+//! The experiment binaries are located next to this one
+//! (`target/<profile>/`), so run it as
+//! `cargo run --release -p homp-bench --bin bench_report`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Experiment binaries to time, in report order. `gantt` is excluded
+/// (interactive viewer, argument-driven) and so is this binary itself.
+const EXPERIMENTS: &[&str] = &[
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table4",
+    "table5",
+    "heuristics",
+    "ablation_chunk",
+    "ablation_cutoff",
+    "ablation_overlap",
+    "ablation_bus",
+    "ablation_constants",
+    "ablation_teams",
+    "unified_memory",
+    "extension_history",
+    "irregular_loops",
+];
+
+/// The grids whose combined speedup is the headline number.
+const KEY_FIGS: &[&str] = &["fig5", "fig8", "fig9"];
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    wall_s: f64,
+    jobs: usize,
+    cells: u64,
+}
+
+/// Parse the `[harness]` line from a binary's stderr.
+fn parse_harness_line(stderr: &str, name: &str) -> Sample {
+    let line = stderr
+        .lines()
+        .rev()
+        .find(|l| l.starts_with("[harness] ") && l.contains(&format!("name={name} ")))
+        .unwrap_or_else(|| panic!("{name}: no [harness] line in stderr:\n{stderr}"));
+    let field = |key: &str| -> &str {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key).and_then(|t| t.strip_prefix('=')))
+            .unwrap_or_else(|| panic!("{name}: missing {key}= in {line:?}"))
+    };
+    Sample {
+        wall_s: field("wall_s").parse().expect("wall_s"),
+        jobs: field("jobs").parse().expect("jobs"),
+        cells: field("cells").parse().expect("cells"),
+    }
+}
+
+fn run_binary(dir: &Path, name: &str, jobs: usize) -> Sample {
+    let path = dir.join(name);
+    let out = Command::new(&path)
+        .env(homp_bench::JOBS_ENV, jobs.to_string())
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+    assert!(out.status.success(), "{name} exited with {:?}", out.status);
+    parse_harness_line(&String::from_utf8_lossy(&out.stderr), name)
+}
+
+fn main() {
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir: PathBuf = exe.parent().expect("target dir").to_path_buf();
+    for name in EXPERIMENTS {
+        assert!(
+            dir.join(name).exists(),
+            "{name} not built — run `cargo build --release -p homp-bench` first",
+        );
+    }
+    // At least 4 workers so the parallel pass always exercises the
+    // fan-out, even on small runners (where the speedup column then
+    // reads ~1.0x — the threads time-slice one core).
+    let par_jobs = homp_bench::jobs().max(4);
+
+    let mut rows = String::new();
+    let mut key_serial = 0.0;
+    let mut key_parallel = 0.0;
+    println!("== harness timing: serial (jobs=1) vs parallel (jobs={par_jobs}) ==");
+    println!(
+        "{:<20} {:>10} {:>10} {:>8} {:>8} {:>12}",
+        "experiment", "serial s", "parallel s", "speedup", "cells", "cells/s par"
+    );
+    for (i, name) in EXPERIMENTS.iter().enumerate() {
+        let serial = run_binary(&dir, name, 1);
+        let parallel = run_binary(&dir, name, par_jobs);
+        let speedup = serial.wall_s / parallel.wall_s;
+        let cps = parallel.cells as f64 / parallel.wall_s;
+        if KEY_FIGS.contains(name) {
+            key_serial += serial.wall_s;
+            key_parallel += parallel.wall_s;
+        }
+        println!(
+            "{name:<20} {:>10.3} {:>10.3} {:>7.2}x {:>8} {:>12.1}",
+            serial.wall_s, parallel.wall_s, speedup, parallel.cells, cps
+        );
+        let _ = write!(
+            rows,
+            "    {{\"name\": \"{name}\", \"serial_wall_s\": {:.6}, \"parallel_wall_s\": {:.6}, \
+             \"speedup\": {:.4}, \"jobs\": {}, \"cells\": {}, \"cells_per_sec_parallel\": {:.1}}}{}",
+            serial.wall_s,
+            parallel.wall_s,
+            speedup,
+            parallel.jobs,
+            parallel.cells,
+            cps,
+            if i + 1 < EXPERIMENTS.len() { ",\n" } else { "\n" }
+        );
+    }
+    let key_speedup = key_serial / key_parallel;
+    println!(
+        "\ncombined fig5+fig8+fig9: {key_serial:.3} s serial, {key_parallel:.3} s at \
+         jobs={par_jobs} — {key_speedup:.2}x"
+    );
+
+    // Record the host's core count: the speedup column only has room
+    // to move when the machine actually has spare cores.
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"jobs\": {par_jobs},\n  \"host_parallelism\": {host_cores},\n  \
+         \"key_figures\": [\"fig5\", \"fig8\", \"fig9\"],\n  \
+         \"key_serial_wall_s\": {key_serial:.6},\n  \"key_parallel_wall_s\": {key_parallel:.6},\n  \
+         \"key_speedup\": {key_speedup:.4},\n  \"experiments\": [\n{rows}  ]\n}}\n"
+    );
+    std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
+    println!("[wrote BENCH_harness.json]");
+}

@@ -6,12 +6,16 @@
 //! (axpy, matvec, sum) run best under SCHED_DYNAMIC thanks to
 //! transfer/compute overlap.
 
-use homp_bench::{format_matrix, grid_csv, run_grid, write_artifact, Cell, SEED};
+use homp_bench::{experiment, format_matrix, grid_csv, run_grid, write_artifact, Cell, SEED};
 use homp_core::Algorithm;
 use homp_kernels::KernelSpec;
 use homp_sim::Machine;
 
 fn main() {
+    experiment("fig5", run);
+}
+
+fn run() {
     let machine = Machine::four_k40();
     let specs = KernelSpec::paper_suite();
     let algorithms = Algorithm::paper_suite();

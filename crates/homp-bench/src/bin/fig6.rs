@@ -5,13 +5,17 @@
 //! the loop with less than 5% overhead per device in average as the
 //! cost of barrier synchronizations."
 
-use homp_bench::{run_grid, write_artifact, SEED};
+use homp_bench::{experiment, run_grid, write_artifact, SEED};
 use homp_core::Algorithm;
 use homp_kernels::KernelSpec;
 use homp_sim::{Machine, OpKind};
 use std::fmt::Write as _;
 
 fn main() {
+    experiment("fig6", run);
+}
+
+fn run() {
     let machine = Machine::four_k40();
     let specs = KernelSpec::paper_suite();
     let algorithms = Algorithm::paper_suite();

@@ -5,31 +5,42 @@
 //! compute-intensive kernels and sublinear scaling for the
 //! data-intensive ones (the PCIe links saturate).
 
-use homp_bench::{try_run_one, write_artifact, SEED};
+use homp_bench::{experiment, jobs, par_map, try_run_one, write_artifact, SEED};
 use homp_core::Algorithm;
 use homp_kernels::KernelSpec;
 use homp_sim::Machine;
 use std::fmt::Write as _;
 
 fn main() {
+    experiment("fig7", run);
+}
+
+fn run() {
     let specs = KernelSpec::paper_suite();
     let algorithms = Algorithm::paper_suite();
 
     // Best time per kernel per GPU count, skipping plans that cannot
     // fit device memory (matvec-48k's matrix exceeds one K40; chunked
-    // algorithms stream it).
+    // algorithms stream it). Each (GPU count, kernel) point is an
+    // independent task; results land by index, so the fan-out cannot
+    // reorder them.
+    let machines: Vec<Machine> = (1..=4).map(Machine::k40s).collect();
+    let tasks: Vec<(usize, usize)> = (0..machines.len())
+        .flat_map(|mi| (0..specs.len()).map(move |si| (mi, si)))
+        .collect();
+    let times = par_map(&tasks, jobs(), |_i, &(mi, si)| {
+        let spec = specs[si];
+        let t = algorithms
+            .iter()
+            .filter_map(|&alg| try_run_one(&machines[mi], spec, alg, SEED))
+            .map(|c| c.ms())
+            .fold(f64::INFINITY, f64::min);
+        assert!(t.is_finite(), "no algorithm fits {} on {} GPU(s)", spec.label(), mi + 1);
+        t
+    });
     let mut best: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
-    for k in 1..=4usize {
-        let machine = Machine::k40s(k);
-        for (si, &spec) in specs.iter().enumerate() {
-            let t = algorithms
-                .iter()
-                .filter_map(|&alg| try_run_one(&machine, spec, alg, SEED))
-                .map(|c| c.ms())
-                .fold(f64::INFINITY, f64::min);
-            assert!(t.is_finite(), "no algorithm fits {} on {k} GPU(s)", spec.label());
-            best[si].push(t);
-        }
+    for (&(_mi, si), t) in tasks.iter().zip(times) {
+        best[si].push(t);
     }
 
     println!("== Fig. 7: speedup over 1 GPU (best policy per point) ==");

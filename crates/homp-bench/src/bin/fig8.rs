@@ -6,12 +6,16 @@
 //! kernels (mm, bm, stencil — distribute by peak performance);
 //! SCHED_DYNAMIC for the others.
 
-use homp_bench::{format_matrix, grid_csv, run_grid, write_artifact, Cell, SEED};
+use homp_bench::{experiment, format_matrix, grid_csv, run_grid, write_artifact, Cell, SEED};
 use homp_core::Algorithm;
 use homp_kernels::KernelSpec;
 use homp_sim::Machine;
 
 fn main() {
+    experiment("fig8", run);
+}
+
+fn run() {
     let machine = Machine::two_cpus_two_mics();
     let specs = KernelSpec::paper_suite();
     let algorithms = Algorithm::paper_suite();

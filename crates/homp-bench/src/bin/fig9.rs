@@ -8,13 +8,19 @@
 //! pruning devices whose contribution is below the all-equal average
 //! (100/7 ≈ 15%).
 
-use homp_bench::{best_cell, format_matrix, grid_csv, run_grid, write_artifact, Cell, SEED};
+use homp_bench::{
+    best_cell, experiment, format_matrix, grid_csv, run_grid, write_artifact, Cell, SEED,
+};
 use homp_core::Algorithm;
 use homp_kernels::KernelSpec;
 use homp_sim::Machine;
 use std::fmt::Write as _;
 
 fn main() {
+    experiment("fig9", run);
+}
+
+fn run() {
     let machine = Machine::full_node();
     let specs = KernelSpec::paper_suite();
 

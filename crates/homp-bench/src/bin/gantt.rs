@@ -13,11 +13,16 @@
 //! A Chrome-trace JSON of the same timeline is written to `results/`
 //! for inspection in Perfetto.
 
+use homp_bench::experiment;
 use homp_core::{Algorithm, Runtime};
 use homp_kernels::{KernelSpec, PhantomKernel};
 use homp_sim::Machine;
 
 fn main() {
+    experiment("gantt", run);
+}
+
+fn run() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let kernel = args.first().map(String::as_str).unwrap_or("axpy");
     let algorithm = args.get(1).map(String::as_str).unwrap_or("dynamic");
@@ -62,6 +67,7 @@ fn main() {
     let region = spec.region((0..machine.len() as u32).collect(), alg);
     let mut k = PhantomKernel::new(spec.intensity());
     let report = rt.offload(&region, &mut k).expect("offload");
+    homp_bench::count_cells(1);
 
     println!(
         "{} under {} on {} — {:.3} ms, {} chunks, {:.2}% imbalance\n",

@@ -7,13 +7,17 @@
 //! (identical devices) / MODEL_1 (heterogeneous); balanced →
 //! SCHED_DYNAMIC; data-intensive → MODEL_2.
 
-use homp_bench::{run_grid, write_artifact, SEED};
+use homp_bench::{experiment, run_grid, write_artifact, SEED};
 use homp_core::{Algorithm, Runtime};
 use homp_kernels::KernelSpec;
 use homp_sim::Machine;
 use std::fmt::Write as _;
 
 fn main() {
+    experiment("heuristics", run);
+}
+
+fn run() {
     let machines = [Machine::four_k40(), Machine::two_cpus_two_mics(), Machine::full_node()];
     let specs = KernelSpec::paper_suite();
     let algorithms = Algorithm::paper_suite();

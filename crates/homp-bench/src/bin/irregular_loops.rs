@@ -13,7 +13,7 @@
 //! the model algorithms mispredict them exactly like BLOCK does
 //! (they assume uniform iterations, as the paper's models do).
 
-use homp_bench::{write_artifact, SEED};
+use homp_bench::{experiment, jobs, par_map, write_artifact, SEED};
 use homp_core::{Algorithm, FnKernel, OffloadRegion, Range, Runtime};
 use homp_lang::{DistPolicy, MapDir};
 use homp_model::KernelIntensity;
@@ -56,28 +56,49 @@ fn region(profile: Option<fn(u64) -> f64>, alg: Algorithm) -> OffloadRegion {
 type CostProfile = Option<fn(u64) -> f64>;
 
 fn main() {
+    experiment("irregular_loops", run);
+}
+
+fn run() {
     let profiles: [(&str, CostProfile); 3] =
         [("uniform", None), ("triangular", Some(triangular)), ("frontloaded", Some(frontloaded))];
     let algorithms = Algorithm::paper_suite();
 
-    let mut csv = String::from("profile,algorithm,time_ms,imbalance_pct\n");
-    for (pname, profile) in profiles {
-        println!("== irregular loop profile: {pname} (4x K40) ==");
-        println!("{:<26} {:>12} {:>12}", "algorithm", "time (ms)", "imbalance%");
-        for alg in algorithms.iter().copied() {
-            let mut total = 0.0;
-            let mut imb = 0.0;
-            for s in 0..5u64 {
-                let mut rt = Runtime::new(Machine::four_k40(), SEED + s * 7919);
-                let mut k = FnKernel::new(intensity(), |_r: Range| {});
-                let rep = rt.offload(&region(profile, alg), &mut k).unwrap();
-                total += rep.time_ms();
-                imb += rep.imbalance_pct;
-            }
-            println!("{:<26} {:>12.3} {:>12.2}", alg.to_string(), total / 5.0, imb / 5.0);
-            let _ = writeln!(csv, "{pname},{alg},{:.6},{:.3}", total / 5.0, imb / 5.0);
+    // One task per (profile, algorithm); its 5-seed average reuses a
+    // single runtime via `reset_with_seed`.
+    let tasks: Vec<(&str, CostProfile, Algorithm)> = profiles
+        .iter()
+        .flat_map(|&(pname, profile)| {
+            algorithms.iter().map(move |&alg| (pname, profile, alg))
+        })
+        .collect();
+    let averages = par_map(&tasks, jobs(), |_i, &(_, profile, alg)| {
+        let mut rt = Runtime::new(Machine::four_k40(), SEED);
+        let reg = region(profile, alg);
+        let mut total = 0.0;
+        let mut imb = 0.0;
+        for s in 0..5u64 {
+            rt.reset_with_seed(SEED + s * 7919);
+            let mut k = FnKernel::new(intensity(), |_r: Range| {});
+            let rep = rt.offload(&reg, &mut k).unwrap();
+            total += rep.time_ms();
+            imb += rep.imbalance_pct;
         }
-        println!();
+        (total / 5.0, imb / 5.0)
+    });
+    homp_bench::count_cells(tasks.len() as u64);
+
+    let mut csv = String::from("profile,algorithm,time_ms,imbalance_pct\n");
+    for (&(pname, _, alg), &(ms, imb)) in tasks.iter().zip(&averages) {
+        if alg == algorithms[0] {
+            println!("== irregular loop profile: {pname} (4x K40) ==");
+            println!("{:<26} {:>12} {:>12}", "algorithm", "time (ms)", "imbalance%");
+        }
+        println!("{:<26} {:>12.3} {:>12.2}", alg.to_string(), ms, imb);
+        let _ = writeln!(csv, "{pname},{alg},{ms:.6},{imb:.3}");
+        if alg == algorithms[algorithms.len() - 1] {
+            println!();
+        }
     }
     println!("(on the skewed profiles BLOCK and the models should show 30%+ imbalance;");
     println!(" SCHED_DYNAMIC and SCHED_GUIDED should stay in single digits)");

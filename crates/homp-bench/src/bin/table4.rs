@@ -2,11 +2,15 @@
 //! intensity ratios of each kernel at the paper's problem sizes, with
 //! the class each ratio implies.
 
-use homp_bench::write_artifact;
+use homp_bench::{experiment, write_artifact};
 use homp_kernels::table_iv_paper_sizes;
 use std::fmt::Write as _;
 
 fn main() {
+    experiment("table4", run);
+}
+
+fn run() {
     println!("== Table IV: benchmark characteristics ==");
     println!(
         "{:<24} {:<12} {:>10} {:>10}   class",

@@ -8,7 +8,7 @@
 //! 0.56–3.43× — including one regression, matvec-48k, where CUTOFF
 //! dropped devices that were actually contributing.
 
-use homp_bench::{run_grid, write_artifact, Cell, SEED};
+use homp_bench::{experiment, run_grid, write_artifact, Cell, SEED};
 use homp_core::Algorithm;
 use homp_kernels::KernelSpec;
 use homp_sim::{DeviceType, Machine};
@@ -37,6 +37,10 @@ fn cutoff_capable() -> Vec<Algorithm> {
 }
 
 fn main() {
+    experiment("table5", run);
+}
+
+fn run() {
     let machine = Machine::full_node();
     let specs = KernelSpec::paper_suite();
 

@@ -6,7 +6,7 @@
 //! times slowdown in our BLAS examples)." Reproduce by flipping the
 //! GPUs' memory kind to `Unified` and measuring the two BLAS kernels.
 
-use homp_bench::{write_artifact, SEED};
+use homp_bench::{experiment, jobs, par_map, write_artifact, SEED};
 use homp_core::{Algorithm, Runtime};
 use homp_kernels::{KernelSpec, PhantomKernel};
 use homp_sim::{Machine, MemoryKind};
@@ -24,19 +24,26 @@ fn machine(unified: bool) -> Machine {
 }
 
 fn main() {
+    experiment("unified_memory", run);
+}
+
+fn run() {
     println!("== Unified memory vs explicit data movement (4x K40, BLOCK) ==");
     println!("{:<16} {:>14} {:>14} {:>10}", "kernel", "explicit ms", "unified ms", "slowdown");
     let mut csv = String::from("kernel,explicit_ms,unified_ms,slowdown\n");
     // The paper's "BLAS examples": axpy (level 1) and matvec (level 2).
-    for spec in [KernelSpec::Axpy(10_000_000), KernelSpec::MatVec(48_000)] {
-        let run = |m: Machine| {
-            let mut rt = Runtime::new(m, SEED);
-            let region = spec.region(vec![0, 1, 2, 3], Algorithm::Block);
-            let mut k = PhantomKernel::new(spec.intensity());
-            rt.offload(&region, &mut k).unwrap().time_ms()
-        };
-        let explicit = run(machine(false));
-        let unified = run(machine(true));
+    let specs = [KernelSpec::Axpy(10_000_000), KernelSpec::MatVec(48_000)];
+    let tasks: Vec<(KernelSpec, bool)> =
+        specs.into_iter().flat_map(|spec| [(spec, false), (spec, true)]).collect();
+    let times = par_map(&tasks, jobs(), |_i, &(spec, unified)| {
+        let mut rt = Runtime::new(machine(unified), SEED);
+        let region = spec.region(vec![0, 1, 2, 3], Algorithm::Block);
+        let mut k = PhantomKernel::new(spec.intensity());
+        rt.offload(&region, &mut k).unwrap().time_ms()
+    });
+    homp_bench::count_cells(tasks.len() as u64);
+    for (spec, pair) in specs.into_iter().zip(times.chunks_exact(2)) {
+        let (explicit, unified) = (pair[0], pair[1]);
         let slowdown = unified / explicit;
         println!("{:<16} {:>14.3} {:>14.3} {:>9.1}x", spec.label(), explicit, unified, slowdown);
         let _ = writeln!(csv, "{},{:.6},{:.6},{:.3}", spec.label(), explicit, unified, slowdown);

@@ -3,20 +3,68 @@
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper's evaluation (see DESIGN.md's experiment index). This library
 //! holds the shared machinery: running a kernel×algorithm grid on a
-//! simulated machine, formatting the result matrices the way the paper
-//! reports them, and writing CSV artifacts to `results/`.
+//! simulated machine — in parallel across cells via [`par_map`], with
+//! output byte-identical to a serial run — formatting the result
+//! matrices the way the paper reports them, and writing CSV artifacts
+//! to `results/`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+
+pub mod exec;
+
+pub use exec::{jobs, par_map, JOBS_ENV};
 
 use homp_core::{Algorithm, OffloadReport, Runtime};
 use homp_kernels::{KernelSpec, PhantomKernel};
 use homp_sim::Machine;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default noise seed for all experiments (deterministic).
 pub const SEED: u64 = 20170529; // IPPS 2017 orlando week
+
+/// Grid cells simulated so far in this process (each [`run_one`] /
+/// [`try_run_one`] call is one cell, regardless of its inner seed
+/// loop). The [`experiment`] wrapper reports this as a throughput
+/// denominator.
+static CELLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of grid cells simulated so far in this process.
+pub fn cells_simulated() -> u64 {
+    CELLS.load(Ordering::Relaxed)
+}
+
+/// Count `n` additional cells toward [`cells_simulated`] — for bespoke
+/// sweeps that drive `Runtime::offload` directly instead of going
+/// through [`run_one`] (one cell per independently scheduled sweep
+/// point, mirroring `run_one`'s one-cell-per-seed-loop convention).
+pub fn count_cells(n: u64) {
+    CELLS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Run an experiment body, then print a machine-readable timing line to
+/// **stderr** (stdout is reserved for the experiment's own tables, so
+/// redirected output stays byte-identical):
+///
+/// ```text
+/// [harness] name=fig5 wall_s=1.234 jobs=4 cells=42
+/// ```
+///
+/// The `bench_report` binary launches each figure binary, parses this
+/// line, and aggregates the wall-clock numbers into
+/// `BENCH_harness.json`.
+pub fn experiment(name: &str, f: impl FnOnce()) {
+    let start = std::time::Instant::now();
+    f();
+    let wall = start.elapsed().as_secs_f64();
+    eprintln!(
+        "[harness] name={name} wall_s={wall:.6} jobs={} cells={}",
+        jobs(),
+        cells_simulated()
+    );
+}
 
 /// One cell of a result grid.
 #[derive(Debug, Clone)]
@@ -44,12 +92,20 @@ pub const RUNS: u64 = 5;
 /// paper size — the simulator prices it, no host-side arithmetic).
 /// The returned cell carries the report of the *median-time* run out of
 /// [`RUNS`] seeds, with its makespan replaced by the mean.
+///
+/// One [`Runtime`] serves all [`RUNS`] seeds via
+/// [`Runtime::reset_with_seed`] — trace and calendar allocations are
+/// reused, and the noise model's statelessness makes each rewound run
+/// identical to one on a freshly built runtime (the
+/// `reset_with_seed_matches_freshly_built_runtime` golden test pins
+/// this down).
 pub fn run_one(machine: &Machine, spec: KernelSpec, alg: Algorithm, seed: u64) -> Cell {
+    let mut rt = Runtime::new(machine.clone(), seed);
+    let devices = (0..machine.len() as u32).collect();
+    let region = spec.region(devices, alg);
     let mut reports = Vec::with_capacity(RUNS as usize);
     for run in 0..RUNS {
-        let mut rt = Runtime::new(machine.clone(), seed.wrapping_add(run * 7919));
-        let devices = (0..machine.len() as u32).collect();
-        let region = spec.region(devices, alg);
+        rt.reset_with_seed(seed.wrapping_add(run * 7919));
         let mut kernel = PhantomKernel::new(spec.intensity());
         let report = rt.offload(&region, &mut kernel).expect("offload");
         assert_eq!(kernel.executed(), spec.trip_count(), "harness must cover the loop");
@@ -60,6 +116,7 @@ pub fn run_one(machine: &Machine, spec: KernelSpec, alg: Algorithm, seed: u64) -
         reports.iter().map(|r| r.makespan.as_secs()).sum::<f64>() / reports.len() as f64;
     let mut median = reports.swap_remove(reports.len() / 2);
     median.makespan = homp_sim::SimSpan::from_secs(mean_secs);
+    CELLS.fetch_add(1, Ordering::Relaxed);
     Cell { kernel: spec.label(), algorithm: alg.to_string(), report: median }
 }
 
@@ -77,28 +134,49 @@ pub fn try_run_one(
     let devices = (0..machine.len() as u32).collect();
     let region = spec.region(devices, alg);
     let mut kernel = PhantomKernel::new(spec.intensity());
-    match rt.offload(&region, &mut kernel) {
+    let out = match rt.offload(&region, &mut kernel) {
         Ok(report) => {
             Some(Cell { kernel: spec.label(), algorithm: alg.to_string(), report })
         }
         Err(homp_core::OffloadError::OutOfDeviceMemory { .. }) => None,
         Err(e) => panic!("offload failed: {e}"),
-    }
+    };
+    CELLS.fetch_add(1, Ordering::Relaxed);
+    out
 }
 
-/// Run the full kernel × algorithm grid.
+/// Run the full kernel × algorithm grid on `jobs` worker threads.
+///
+/// Cells are fanned out flat over the spec × algorithm product via
+/// [`par_map`] and reassembled **by index** into the kernels × algorithms
+/// shape, so any `jobs` value yields the same grid — and therefore the
+/// same CSV bytes — as `jobs = 1`.
+pub fn run_grid_jobs(
+    machine: &Machine,
+    specs: &[KernelSpec],
+    algorithms: &[Algorithm],
+    seed: u64,
+    jobs: usize,
+) -> Vec<Vec<Cell>> {
+    let tasks: Vec<(KernelSpec, Algorithm)> = specs
+        .iter()
+        .flat_map(|&spec| algorithms.iter().map(move |&alg| (spec, alg)))
+        .collect();
+    let flat = par_map(&tasks, jobs, |_i, &(spec, alg)| run_one(machine, spec, alg, seed));
+    let mut cells = flat.into_iter();
+    specs.iter().map(|_| cells.by_ref().take(algorithms.len()).collect()).collect()
+}
+
+/// Run the full kernel × algorithm grid, parallel across cells with the
+/// process-default worker count ([`jobs`], i.e. `HOMP_BENCH_JOBS` or
+/// all cores).
 pub fn run_grid(
     machine: &Machine,
     specs: &[KernelSpec],
     algorithms: &[Algorithm],
     seed: u64,
 ) -> Vec<Vec<Cell>> {
-    specs
-        .iter()
-        .map(|&spec| {
-            algorithms.iter().map(|&alg| run_one(machine, spec, alg, seed)).collect()
-        })
-        .collect()
+    run_grid_jobs(machine, specs, algorithms, seed, jobs())
 }
 
 /// Format a kernels×algorithms matrix of a per-cell metric, in the

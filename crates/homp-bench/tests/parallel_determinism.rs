@@ -1,0 +1,50 @@
+//! The harness's core promise: the worker count is a throughput knob,
+//! never an output knob. A grid fanned over 4 threads must produce the
+//! same CSV **bytes** as the serial run — the committed `results/*.csv`
+//! artifacts and the CI determinism job depend on it.
+//!
+//! Jobs are passed explicitly (`run_grid_jobs`) rather than through
+//! `HOMP_BENCH_JOBS` so concurrently running tests cannot race on the
+//! environment.
+
+use homp_bench::{grid_csv, run_grid_jobs, SEED};
+use homp_core::Algorithm;
+use homp_kernels::KernelSpec;
+use homp_sim::Machine;
+
+#[test]
+fn fig5_grid_is_byte_identical_across_job_counts() {
+    // The fig5 grid exactly: paper kernels × paper algorithms on 4 K40s.
+    let machine = Machine::four_k40();
+    let specs = KernelSpec::paper_suite();
+    let algorithms = Algorithm::paper_suite();
+
+    let serial = grid_csv(&run_grid_jobs(&machine, &specs, &algorithms, SEED, 1));
+    let parallel = grid_csv(&run_grid_jobs(&machine, &specs, &algorithms, SEED, 4));
+    assert_eq!(serial, parallel, "fig5 grid must not depend on the worker count");
+}
+
+#[test]
+fn fig9_grid_is_byte_identical_across_job_counts() {
+    // The fig9 grid: the full heterogeneous node, where cell runtimes
+    // vary the most and work stealing reorders completion the hardest.
+    let machine = Machine::full_node();
+    let specs = KernelSpec::paper_suite();
+    let algorithms = Algorithm::paper_suite();
+
+    let serial = grid_csv(&run_grid_jobs(&machine, &specs, &algorithms, SEED, 1));
+    let parallel = grid_csv(&run_grid_jobs(&machine, &specs, &algorithms, SEED, 4));
+    assert_eq!(serial, parallel, "fig9 grid must not depend on the worker count");
+}
+
+#[test]
+fn oversubscribed_job_counts_also_match() {
+    // More workers than cells: the cursor must simply run dry.
+    let machine = Machine::four_k40();
+    let specs = [KernelSpec::Axpy(10_000_000)];
+    let algorithms = [Algorithm::Block, Algorithm::Dynamic { chunk_pct: 2.0 }];
+
+    let serial = grid_csv(&run_grid_jobs(&machine, &specs, &algorithms, SEED, 1));
+    let parallel = grid_csv(&run_grid_jobs(&machine, &specs, &algorithms, SEED, 64));
+    assert_eq!(serial, parallel);
+}

@@ -303,6 +303,22 @@ impl Runtime {
         Self::with_noise(machine, NoiseModel::disabled())
     }
 
+    /// Rewind the runtime to a fresh state under a new noise seed.
+    ///
+    /// After this call the runtime behaves exactly like
+    /// `Runtime::new(machine, seed)` built from scratch (the noise model
+    /// is a pure hash of `(seed, device, seq)`, and the engine reset
+    /// rewinds every resource calendar and sequence counter), but the
+    /// engine's trace and calendar allocations are reused — the cheap
+    /// path for repeating an experiment over many seeds.
+    ///
+    /// Model parameters are left untouched, so a runtime built with
+    /// [`Runtime::with_profiled_params`] keeps its measured constants
+    /// rather than re-profiling.
+    pub fn reset_with_seed(&mut self, seed: u64) {
+        self.engine.reset_with_seed(seed);
+    }
+
     /// The simulated machine.
     pub fn machine(&self) -> &Machine {
         self.engine.machine()

@@ -101,6 +101,38 @@ fn fault_config_none_is_byte_identical_to_no_fault_config() {
 }
 
 #[test]
+fn reset_with_seed_matches_freshly_built_runtime() {
+    // A runtime rewound with `reset_with_seed(s)` must be
+    // indistinguishable from `Runtime::new(machine, s)` — same golden
+    // makespans, chunk counts and byte-identical traces — even after it
+    // has already executed offloads under other seeds. This is the
+    // guarantee the bench harness's per-cell runtime reuse rests on.
+    let mut reused = Runtime::new(Machine::four_k40(), 7); // arbitrary initial seed
+    for (alg, makespan, chunks, counts) in golden() {
+        // Dirty the reused runtime under a different seed first.
+        reused.reset_with_seed(1234);
+        let mut warm = FnKernel::new(intensity(), |_r: Range| {});
+        reused.offload(&region(10_000, alg), &mut warm).unwrap();
+
+        reused.reset_with_seed(42);
+        let mut k = FnKernel::new(intensity(), |_r: Range| {});
+        let rep = reused.offload(&region(10_000, alg), &mut k).unwrap();
+        let fresh = run(Runtime::new(Machine::four_k40(), 42), 10_000, alg);
+
+        assert_eq!(rep.makespan.as_secs(), makespan, "{alg}: reused runtime drifted from golden");
+        assert_eq!(rep.chunks, chunks, "{alg}");
+        assert_eq!(rep.counts, counts, "{alg}");
+        assert_eq!(rep.makespan, fresh.makespan, "{alg}");
+        assert_eq!(rep.imbalance_pct, fresh.imbalance_pct, "{alg}");
+        assert_eq!(
+            rep.trace.to_csv(),
+            fresh.trace.to_csv(),
+            "{alg}: reused runtime's trace must be byte-identical to a fresh one"
+        );
+    }
+}
+
+#[test]
 fn inactive_device_plans_do_not_perturb_other_devices() {
     // A plan that names a device but can never fire (zero rates, no
     // dropout) still counts as "none" and must change nothing.

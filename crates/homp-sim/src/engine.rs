@@ -155,6 +155,16 @@ impl Engine {
         self.trace.clear();
     }
 
+    /// [`Engine::reset`] plus a reseed of the noise model (amplitude
+    /// kept): after this call the engine replays exactly as a freshly
+    /// built `Engine::new(machine, NoiseModel::new(seed, amplitude))` —
+    /// no machine clone, no calendar reallocation. This is what lets a
+    /// multi-seed experiment loop reuse one engine.
+    pub fn reset_with_seed(&mut self, seed: u64) {
+        self.reset();
+        self.noise.reseed(seed);
+    }
+
     /// Install a fault plan. Only the fault-checked `try_*` entry points
     /// consult it; the plain infallible methods (used by profiling and
     /// halo exchange) behave identically with or without a plan. A
@@ -313,7 +323,7 @@ impl Engine {
                         start,
                         start,
                         0,
-                        format!("{label} [dropout]"),
+                        &format!("{label} [dropout]"),
                     );
                     return Err(Fault { device: dev, kind: FaultKind::Dropout, at: start });
                 }
@@ -327,7 +337,7 @@ impl Engine {
                         start,
                         tf,
                         bytes,
-                        format!("{label} [dropout]"),
+                        &format!("{label} [dropout]"),
                     );
                     return Err(Fault { device: dev, kind: FaultKind::Dropout, at: tf });
                 }
@@ -346,7 +356,7 @@ impl Engine {
                     start,
                     fail_end,
                     bytes,
-                    format!("{label} [dma-error]"),
+                    &format!("{label} [dma-error]"),
                 );
                 return Err(Fault { device: dev, kind: FaultKind::TransientDma, at: fail_end });
             }
@@ -510,12 +520,12 @@ impl Engine {
     ) -> Option<Fault> {
         let tf = self.faults.fail_at(dev)?;
         if start >= tf {
-            self.trace.record(dev, OpKind::Fault, start, start, 0, format!("{label} [dropout]"));
+            self.trace.record(dev, OpKind::Fault, start, start, 0, &format!("{label} [dropout]"));
             return Some(Fault { device: dev, kind: FaultKind::Dropout, at: start });
         }
         if end > tf {
             self.compute_free[dev as usize] = tf;
-            self.trace.record(dev, OpKind::Fault, start, tf, amount, format!("{label} [dropout]"));
+            self.trace.record(dev, OpKind::Fault, start, tf, amount, &format!("{label} [dropout]"));
             return Some(Fault { device: dev, kind: FaultKind::Dropout, at: tf });
         }
         None
@@ -575,7 +585,7 @@ impl Engine {
                     start,
                     fail_end,
                     0,
-                    format!("{label} [launch-timeout]"),
+                    &format!("{label} [launch-timeout]"),
                 );
                 return Err(Fault { device: dev, kind: FaultKind::LaunchTimeout, at: fail_end });
             }

@@ -42,4 +42,4 @@ pub use memory::{mapping_decision, MappingDecision, MemorySpace};
 pub use noise::NoiseModel;
 pub use profile::{profile_device, profile_machine};
 pub use time::{SimSpan, SimTime};
-pub use trace::{Breakdown, OpKind, Trace, TraceEvent};
+pub use trace::{Breakdown, LabelId, OpKind, Trace, TraceEvent};

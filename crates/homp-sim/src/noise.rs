@@ -88,6 +88,19 @@ impl NoiseModel {
         Self { seed: 0, amplitude: 0.0 }
     }
 
+    /// Replace the seed, keeping the amplitude. The model is stateless
+    /// (every draw hashes `(seed, device, seq)`), so reseeding makes it
+    /// behave exactly like `NoiseModel::new(seed, amplitude)` — the
+    /// cheap path for running one engine over many seeds.
+    pub fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// The current seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Jitter factor for operation `seq` on device `device`: a value in
     /// `[1 - amplitude, 1 + amplitude)`, deterministic in all inputs.
     pub fn factor(&self, device: u32, seq: u64) -> f64 {

@@ -10,6 +10,7 @@
 
 use crate::device::DeviceId;
 use crate::time::{SimSpan, SimTime};
+use std::fmt::Write as _;
 
 /// Category of a traced operation, the x-axis groups of Figure 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,8 +73,18 @@ impl std::fmt::Display for OpKind {
     }
 }
 
+/// Handle to an interned event label (see [`Trace::label`]).
+///
+/// Labels repeat heavily — every chunk of a dynamic schedule records
+/// `"chunk-in"`, `"chunk-launch"`, `"chunk-out"` and the kernel name —
+/// so events store a small id into the trace's label table instead of
+/// an owned `String` per event. This removes a heap allocation from
+/// every simulated operation, the hottest path of the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelId(u32);
+
 /// One recorded operation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
     /// Device the operation ran on.
     pub device: DeviceId,
@@ -85,8 +96,8 @@ pub struct TraceEvent {
     pub end: SimTime,
     /// Bytes moved (transfers) or iterations executed (kernels).
     pub amount: u64,
-    /// Free-form label, e.g. the kernel name or `"chunk 3"`.
-    pub label: String,
+    /// Interned label id; resolve with [`Trace::label`].
+    pub label: LabelId,
 }
 
 impl TraceEvent {
@@ -100,12 +111,32 @@ impl TraceEvent {
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    /// Interned label table, indexed by [`LabelId`]. The cardinality is
+    /// tiny (a handful of fixed stage names plus the kernel names), so
+    /// a linear probe beats a hash map here.
+    labels: Vec<Box<str>>,
 }
 
 impl Trace {
     /// Empty trace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Intern `label`, returning its id (existing id if already seen).
+    pub fn intern(&mut self, label: &str) -> LabelId {
+        match self.labels.iter().position(|l| &**l == label) {
+            Some(i) => LabelId(i as u32),
+            None => {
+                self.labels.push(label.into());
+                LabelId((self.labels.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Resolve an interned label id back to its text.
+    pub fn label(&self, id: LabelId) -> &str {
+        &self.labels[id.0 as usize]
     }
 
     /// Record an operation.
@@ -116,10 +147,11 @@ impl Trace {
         start: SimTime,
         end: SimTime,
         amount: u64,
-        label: impl Into<String>,
+        label: &str,
     ) {
         debug_assert!(end >= start, "event ends before it starts");
-        self.events.push(TraceEvent { device, kind, start, end, amount, label: label.into() });
+        let label = self.intern(label);
+        self.events.push(TraceEvent { device, kind, start, end, amount, label });
     }
 
     /// All events, in recording order.
@@ -137,7 +169,9 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Drop all events (reuse between regions).
+    /// Drop all events (reuse between regions). The interned label
+    /// table is kept — ids from earlier regions stay valid, and a
+    /// rewound engine re-records the same labels anyway.
     pub fn clear(&mut self) {
         self.events.clear();
     }
@@ -164,18 +198,24 @@ impl Trace {
     }
 
     /// CSV export: `device,kind,start_s,end_s,amount,label`.
+    ///
+    /// The buffer is preallocated from the event count and rows are
+    /// written with `fmt::Write` — no per-row `String` churn.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("device,kind,start_s,end_s,amount,label\n");
+        // ~56 bytes of fixed-width fields per row plus the label.
+        let mut out = String::with_capacity(40 + self.events.len() * 72);
+        out.push_str("device,kind,start_s,end_s,amount,label\n");
         for e in &self.events {
-            out.push_str(&format!(
-                "{},{},{:.9},{:.9},{},{}\n",
+            let _ = writeln!(
+                out,
+                "{},{},{:.9},{:.9},{},{}",
                 e.device,
                 e.kind,
                 e.start.as_secs(),
                 e.end.as_secs(),
                 e.amount,
-                e.label
-            ));
+                self.label(e.label)
+            );
         }
         out
     }
@@ -185,31 +225,34 @@ impl Trace {
     /// per operation, devices as process IDs, operation kinds as
     /// threads. Hand-serialized — labels are escaped, no serde needed.
     pub fn to_chrome_json(&self) -> String {
-        fn escape(s: &str) -> String {
-            s.chars()
-                .flat_map(|c| match c {
-                    '"' => vec!['\\', '"'],
-                    '\\' => vec!['\\', '\\'],
-                    c if c.is_control() => vec![' '],
-                    c => vec![c],
-                })
-                .collect()
+        fn escape_into(out: &mut String, s: &str) {
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if c.is_control() => out.push(' '),
+                    c => out.push(c),
+                }
+            }
         }
-        let mut out = String::from("[\n");
+        let mut out = String::with_capacity(16 + self.events.len() * 140);
+        out.push_str("[\n");
         for (i, e) in self.events.iter().enumerate() {
             if i > 0 {
                 out.push_str(",\n");
             }
-            out.push_str(&format!(
-                r#"  {{"name":"{}","cat":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":{},"tid":"{}","args":{{"amount":{}}}}}"#,
-                escape(&e.label),
+            out.push_str("  {\"name\":\"");
+            escape_into(&mut out, self.label(e.label));
+            let _ = write!(
+                out,
+                r#"","cat":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":{},"tid":"{}","args":{{"amount":{}}}}}"#,
                 e.kind,
                 e.start.as_micros(),
                 e.span().as_secs() * 1e6,
                 e.device,
                 e.kind,
                 e.amount
-            ));
+            );
         }
         out.push_str("\n]\n");
         out
@@ -437,6 +480,29 @@ mod tests {
     #[test]
     fn chrome_json_empty() {
         assert_eq!(Trace::new().to_chrome_json(), "[\n\n]\n");
+    }
+
+    #[test]
+    fn labels_are_interned_once() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::Kernel, t(0.0), t(1.0), 1, "axpy");
+        tr.record(1, OpKind::Kernel, t(1.0), t(2.0), 1, "axpy");
+        tr.record(0, OpKind::H2D, t(0.0), t(0.5), 8, "chunk-in");
+        assert_eq!(tr.events()[0].label, tr.events()[1].label, "same text, same id");
+        assert_ne!(tr.events()[0].label, tr.events()[2].label);
+        assert_eq!(tr.label(tr.events()[2].label), "chunk-in");
+    }
+
+    #[test]
+    fn clear_keeps_interned_labels_stable() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::Kernel, t(0.0), t(1.0), 1, "axpy");
+        let id = tr.events()[0].label;
+        tr.clear();
+        assert!(tr.is_empty());
+        tr.record(0, OpKind::Kernel, t(0.0), t(1.0), 1, "axpy");
+        assert_eq!(tr.events()[0].label, id, "re-recorded label reuses its id");
+        assert_eq!(tr.label(id), "axpy");
     }
 
     #[test]
