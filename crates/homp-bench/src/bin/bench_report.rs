@@ -48,32 +48,50 @@ struct Sample {
     cells: u64,
 }
 
-/// Parse the `[harness]` line from a binary's stderr.
-fn parse_harness_line(stderr: &str, name: &str) -> Sample {
+/// Parse the `[harness]` line from a binary's stderr. A crashed child
+/// (or one that never reached [`homp_bench::experiment`]) prints no such
+/// line — that is an error naming the binary, not a panic of *this*
+/// report tool.
+fn parse_harness_line(stderr: &str, name: &str) -> Result<Sample, String> {
     let line = stderr
         .lines()
         .rev()
         .find(|l| l.starts_with("[harness] ") && l.contains(&format!("name={name} ")))
-        .unwrap_or_else(|| panic!("{name}: no [harness] line in stderr:\n{stderr}"));
-    let field = |key: &str| -> &str {
+        .ok_or_else(|| {
+            let tail: Vec<&str> = stderr.lines().rev().take(5).collect();
+            format!(
+                "{name}: no [harness] line in stderr (last lines: {:?})",
+                tail.iter().rev().collect::<Vec<_>>()
+            )
+        })?;
+    let field = |key: &str| -> Result<&str, String> {
         line.split_whitespace()
             .find_map(|tok| tok.strip_prefix(key).and_then(|t| t.strip_prefix('=')))
-            .unwrap_or_else(|| panic!("{name}: missing {key}= in {line:?}"))
+            .ok_or_else(|| format!("{name}: missing {key}= in {line:?}"))
     };
-    Sample {
-        wall_s: field("wall_s").parse().expect("wall_s"),
-        jobs: field("jobs").parse().expect("jobs"),
-        cells: field("cells").parse().expect("cells"),
-    }
+    let num = |key: &str| -> Result<f64, String> {
+        let raw = field(key)?;
+        raw.parse().map_err(|e| format!("{name}: bad {key}={raw:?}: {e}"))
+    };
+    Ok(Sample {
+        wall_s: num("wall_s")?,
+        jobs: num("jobs")? as usize,
+        cells: num("cells")? as u64,
+    })
 }
 
-fn run_binary(dir: &Path, name: &str, jobs: usize) -> Sample {
+fn run_binary(dir: &Path, name: &str, jobs: usize) -> Result<Sample, String> {
     let path = dir.join(name);
     let out = Command::new(&path)
         .env(homp_bench::JOBS_ENV, jobs.to_string())
         .output()
-        .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
-    assert!(out.status.success(), "{name} exited with {:?}", out.status);
+        .map_err(|e| format!("{name}: failed to launch {}: {e}", path.display()))?;
+    if !out.status.success() {
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let mut tail: Vec<&str> = stderr.lines().rev().take(5).collect();
+        tail.reverse();
+        return Err(format!("{name} exited with {:?} (stderr tail: {tail:?})", out.status));
+    }
     parse_harness_line(&String::from_utf8_lossy(&out.stderr), name)
 }
 
@@ -99,9 +117,18 @@ fn main() {
         "{:<20} {:>10} {:>10} {:>8} {:>8} {:>12}",
         "experiment", "serial s", "parallel s", "speedup", "cells", "cells/s par"
     );
+    let mut failures: Vec<String> = Vec::new();
     for (i, name) in EXPERIMENTS.iter().enumerate() {
-        let serial = run_binary(&dir, name, 1);
-        let parallel = run_binary(&dir, name, par_jobs);
+        let (serial, parallel) =
+            match run_binary(&dir, name, 1).and_then(|s| Ok((s, run_binary(&dir, name, par_jobs)?)))
+            {
+                Ok(pair) => pair,
+                Err(msg) => {
+                    eprintln!("[bench_report] FAILED {msg}");
+                    failures.push(msg);
+                    continue;
+                }
+            };
         let speedup = serial.wall_s / parallel.wall_s;
         let cps = parallel.cells as f64 / parallel.wall_s;
         if KEY_FIGS.contains(name) {
@@ -142,4 +169,50 @@ fn main() {
     );
     std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
     println!("[wrote BENCH_harness.json]");
+    if !failures.is_empty() {
+        eprintln!("[bench_report] {} experiment(s) failed:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_harness_line() {
+        let s = parse_harness_line(
+            "noise\n[harness] name=fig5 wall_s=1.250000 jobs=4 cells=42\n",
+            "fig5",
+        )
+        .unwrap();
+        assert!((s.wall_s - 1.25).abs() < 1e-12);
+        assert_eq!(s.jobs, 4);
+        assert_eq!(s.cells, 42);
+    }
+
+    #[test]
+    fn missing_line_is_an_error_naming_the_binary() {
+        let err = parse_harness_line("thread 'main' panicked at ...\n", "fig5").unwrap_err();
+        assert!(err.starts_with("fig5:"), "error must name the binary: {err}");
+        assert!(err.contains("no [harness] line"));
+        // A line for a *different* experiment must not satisfy fig5.
+        let err = parse_harness_line("[harness] name=fig6 wall_s=1 jobs=1 cells=1\n", "fig5")
+            .unwrap_err();
+        assert!(err.contains("no [harness] line"));
+    }
+
+    #[test]
+    fn corrupt_fields_are_errors_not_panics() {
+        let err =
+            parse_harness_line("[harness] name=fig5 wall_s=oops jobs=1 cells=1\n", "fig5")
+                .unwrap_err();
+        assert!(err.contains("bad wall_s"));
+        let err = parse_harness_line("[harness] name=fig5 wall_s=1.0 cells=1\n", "fig5")
+            .unwrap_err();
+        assert!(err.contains("missing jobs="));
+    }
 }

@@ -134,6 +134,15 @@ impl Homp {
         self.runtime.set_fault_config(faults);
     }
 
+    /// Enable (or disable) the per-chunk scheduler decision log. When
+    /// on, each [`OffloadReport`] carries the decisions behind it and
+    /// [`OffloadReport::run_report`] yields prediction-error statistics.
+    /// Pure read-side: the simulated schedule is byte-identical either
+    /// way.
+    pub fn set_decision_log(&mut self, on: bool) {
+        self.runtime.set_decision_log(on);
+    }
+
     /// The underlying runtime.
     pub fn runtime(&self) -> &Runtime {
         &self.runtime

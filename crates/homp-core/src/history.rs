@@ -15,13 +15,22 @@ use homp_sim::DeviceId;
 use std::collections::HashMap;
 
 /// Online least-squares fit of `T = a + b·N` from (N, T) samples.
+///
+/// Accumulates Welford-style *centered* sums (running means plus
+/// `Σ(x−x̄)²` and `Σ(x−x̄)(y−ȳ)`) rather than raw `Σx²`/`Σxy`. With raw
+/// sums, fitting at `N ~ 1e9` computes `n·Σx² − (Σx)²` as the difference
+/// of two ~1e20 quantities whose true gap is set by the *spread* of the
+/// samples — catastrophic cancellation that corrupts the slope; the
+/// centered form never subtracts large near-equal numbers.
 #[derive(Debug, Clone, Default)]
 pub struct AffineFit {
     n: u64,
-    sum_x: f64,
-    sum_y: f64,
-    sum_xx: f64,
-    sum_xy: f64,
+    mean_x: f64,
+    mean_y: f64,
+    /// `Σ (x − x̄)²`, updated online.
+    s_xx: f64,
+    /// `Σ (x − x̄)(y − ȳ)`, updated online.
+    s_xy: f64,
 }
 
 impl AffineFit {
@@ -29,10 +38,15 @@ impl AffineFit {
     pub fn add(&mut self, iters: u64, seconds: f64) {
         let x = iters as f64;
         self.n += 1;
-        self.sum_x += x;
-        self.sum_y += seconds;
-        self.sum_xx += x * x;
-        self.sum_xy += x * seconds;
+        let n = self.n as f64;
+        let dx = x - self.mean_x;
+        self.mean_x += dx / n;
+        let dy = seconds - self.mean_y;
+        self.mean_y += dy / n;
+        // dx uses the *old* mean, the second factors the *new* means —
+        // the standard online covariance update.
+        self.s_xx += dx * (x - self.mean_x);
+        self.s_xy += dx * (seconds - self.mean_y);
     }
 
     /// Number of samples.
@@ -46,13 +60,13 @@ impl AffineFit {
         if self.n < 2 {
             return None;
         }
-        let n = self.n as f64;
-        let denom = n * self.sum_xx - self.sum_x * self.sum_x;
-        if denom.abs() < 1e-30 {
+        // Centered variance is exactly zero when every sample shares one
+        // abscissa; guard against rounding dust relative to x̄².
+        if self.s_xx <= 1e-12 * self.mean_x * self.mean_x {
             return None; // all samples at the same N
         }
-        let b = (n * self.sum_xy - self.sum_x * self.sum_y) / denom;
-        let a = (self.sum_y - b * self.sum_x) / n;
+        let b = self.s_xy / self.s_xx;
+        let a = self.mean_y - b * self.mean_x;
         Some((a, b))
     }
 
@@ -65,12 +79,13 @@ impl AffineFit {
         }
     }
 
-    /// Mean observed throughput, iterations per second.
+    /// Mean observed throughput, iterations per second
+    /// (`Σ iters / Σ seconds`, i.e. `x̄/ȳ`).
     pub fn rate(&self) -> Option<f64> {
-        if self.n == 0 || self.sum_y <= 0.0 {
+        if self.n == 0 || self.mean_y <= 0.0 {
             None
         } else {
-            Some(self.sum_x / self.sum_y)
+            Some(self.mean_x / self.mean_y)
         }
     }
 }
@@ -148,6 +163,27 @@ mod tests {
         assert!((b - 2e-6).abs() < 1e-12, "b = {b}");
         let t = f.predict(20_000).unwrap();
         assert!((t - 0.54).abs() < 1e-9);
+    }
+
+    #[test]
+    fn affine_fit_is_stable_at_billion_iteration_counts() {
+        // Raw-sum least squares computes n·Σx² − (Σx)² here as the
+        // difference of two ~1e20 values with a true gap of ~1e14 —
+        // losing most of the slope's significant digits. The centered
+        // accumulation must recover (a, b) to tight relative tolerance.
+        let (a_true, b_true) = (0.5, 2e-6);
+        let mut f = AffineFit::default();
+        for k in 0..10u64 {
+            let n = 1_000_000_000 + k * 1_000; // tiny spread on a huge base
+            f.add(n, a_true + b_true * n as f64);
+        }
+        let (a, b) = f.coefficients().unwrap();
+        assert!((b - b_true).abs() / b_true < 1e-9, "b = {b:e}, want {b_true:e}");
+        assert!((a - a_true).abs() / a_true < 1e-5, "a = {a}, want {a_true}");
+        let n_q = 1_000_004_500u64;
+        let t = f.predict(n_q).unwrap();
+        let want = a_true + b_true * n_q as f64;
+        assert!((t - want).abs() / want < 1e-9, "predict {t} want {want}");
     }
 
     #[test]

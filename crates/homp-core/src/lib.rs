@@ -19,6 +19,8 @@
 //!   exchange (the Fig. 3 Jacobi features);
 //! * [`host_exec`] / [`disjoint`] — the same chunk schedulers on real
 //!   threads with CAS chunk acquisition;
+//! * [`report`] — the observability layer: per-chunk scheduler decision
+//!   log, prediction-error statistics, and rendered run reports;
 //! * [`mod@compile`] / [`api`] — lowering parsed HOMP directives into
 //!   offload regions, and the three-call facade.
 
@@ -38,6 +40,7 @@ pub mod map;
 pub mod offload;
 pub mod reduction;
 pub mod region;
+pub mod report;
 pub mod runtime;
 pub mod sched;
 
@@ -48,6 +51,7 @@ pub use history::{AffineFit, HistoryDb};
 pub use map::{DataPlan, PlanError};
 pub use offload::{ArrayMap, OffloadRegion, OffloadRegionBuilder};
 pub use region::Range;
+pub use report::{ChunkDecision, PredictionSource, PredictionStats, RunReport};
 pub use runtime::{
     FaultConfig, FaultSummary, FnKernel, LoopKernel, OffloadError, OffloadReport, RetryPolicy,
     Runtime,

@@ -20,6 +20,7 @@
 use crate::map::{DataPlan, PlanError};
 use crate::offload::OffloadRegion;
 use crate::region::Range;
+use crate::report::{ChunkDecision, PredictionSource, RunReport};
 use crate::sched::chunking::{ChunkPolicy, ChunkQueue, DynamicChunks, GuidedChunks};
 use crate::sched::model_sched::{model1_plan, model2_plan, throughput_plan, ModelPlan};
 use crate::sched::profile_sched::{const_sample_counts, measured_throughput, model_sample_counts};
@@ -229,6 +230,13 @@ pub struct OffloadReport {
     pub imbalance_pct: f64,
     /// What fault handling did (all zeros when no faults fired).
     pub faults: FaultSummary,
+    /// FLOPs per loop iteration (from the kernel's intensity), so
+    /// reports can convert iteration counters into FLOP counters.
+    pub flops_per_iter: f64,
+    /// Scheduler decision log — one entry per placed chunk, with
+    /// predicted and realized cost. Empty unless
+    /// [`Runtime::set_decision_log`] enabled it.
+    pub decisions: Vec<ChunkDecision>,
     /// Full operation trace (for Fig. 6 breakdowns and Gantt charts).
     pub trace: Trace,
 }
@@ -238,6 +246,20 @@ impl OffloadReport {
     pub fn time_ms(&self) -> f64 {
         self.makespan.as_millis()
     }
+
+    /// Fold this report's trace and decision log into a renderable
+    /// [`RunReport`] (text / JSON / prediction-error statistics).
+    pub fn run_report(&self) -> RunReport {
+        RunReport::from_offload(self)
+    }
+}
+
+/// Per-slot predicted chunk costs handed to a static distribution, for
+/// the decision log only — scheduling has already happened by the time
+/// these are computed.
+struct Predictions {
+    source: PredictionSource,
+    per_slot: Vec<f64>,
 }
 
 /// The runtime: a simulated machine plus profiled device parameters.
@@ -245,6 +267,11 @@ pub struct Runtime {
     engine: Engine,
     params: Vec<DeviceParams>,
     faults: FaultConfig,
+    /// When set, schedulers append to `decisions`; recording is pure
+    /// read-side and never touches the engine (golden tests pin that a
+    /// logged run is byte-identical to an unlogged one).
+    log_decisions: bool,
+    decisions: Vec<ChunkDecision>,
 }
 
 impl Runtime {
@@ -265,7 +292,13 @@ impl Runtime {
     pub fn with_noise(machine: Machine, noise: NoiseModel) -> Self {
         let params = machine.datasheet_params();
         let engine = Engine::new(machine, noise);
-        Self { engine, params, faults: FaultConfig::none() }
+        Self {
+            engine,
+            params,
+            faults: FaultConfig::none(),
+            log_decisions: false,
+            decisions: Vec::new(),
+        }
     }
 
     /// Runtime whose models receive *microbenchmark-profiled* constants
@@ -274,7 +307,13 @@ impl Runtime {
     pub fn with_profiled_params(machine: Machine, seed: u64) -> Self {
         let engine = Engine::new(machine, NoiseModel::new(seed, Self::DEFAULT_NOISE));
         let params = profile_machine(&engine);
-        Self { engine, params, faults: FaultConfig::none() }
+        Self {
+            engine,
+            params,
+            faults: FaultConfig::none(),
+            log_decisions: false,
+            decisions: Vec::new(),
+        }
     }
 
     /// Runtime with fault injection: like [`Runtime::new`] plus a
@@ -317,6 +356,31 @@ impl Runtime {
     /// rather than re-profiling.
     pub fn reset_with_seed(&mut self, seed: u64) {
         self.engine.reset_with_seed(seed);
+        self.decisions.clear();
+    }
+
+    /// Enable (or disable) the scheduler decision log. When enabled,
+    /// every offload's [`OffloadReport::decisions`] lists each placed
+    /// chunk with its predicted and realized cost. Recording is pure
+    /// observation — simulated timestamps are identical either way.
+    pub fn set_decision_log(&mut self, on: bool) {
+        self.log_decisions = on;
+        if !on {
+            self.decisions.clear();
+        }
+    }
+
+    /// Whether the scheduler decision log is enabled.
+    pub fn decision_log_enabled(&self) -> bool {
+        self.log_decisions
+    }
+
+    /// Append to the decision log if it is enabled. Costs nothing (and
+    /// records nothing) when disabled.
+    fn note(&mut self, d: ChunkDecision) {
+        if self.log_decisions {
+            self.decisions.push(d);
+        }
     }
 
     /// The simulated machine.
@@ -432,6 +496,39 @@ impl Runtime {
         Ok(())
     }
 
+    /// Per-slot predicted seconds for a static model plan — decision-log
+    /// bookkeeping only, computed *after* the plan is fixed.
+    fn predict_static(
+        &self,
+        source: PredictionSource,
+        slots: &[DeviceId],
+        intensity: &KernelIntensity,
+        counts: &[u64],
+    ) -> Predictions {
+        let per_slot = slots
+            .iter()
+            .zip(counts)
+            .map(|(&d, &n)| {
+                let p = &self.params[d as usize];
+                match source {
+                    // MODEL_1 prices compute capability only.
+                    PredictionSource::Model1 => {
+                        let rate = homp_model::model1::iteration_rate(p, intensity);
+                        if rate > 0.0 {
+                            n as f64 / rate
+                        } else {
+                            0.0
+                        }
+                    }
+                    // Everything else gets the full fixed + data + exe
+                    // decomposition of MODEL_2.
+                    _ => homp_model::model2::device_cost(p, intensity).time(n as f64),
+                }
+            })
+            .collect();
+        Predictions { source, per_slot }
+    }
+
     /// Offload with history-based prediction (the Qilin-style extension,
     /// see [`crate::history`]): when `db` has measured throughput for
     /// this kernel on every participating device, the loop is
@@ -462,6 +559,15 @@ impl Runtime {
             let data = DataPlan::new(region, slots.len())?;
             self.check_capacity(&slots, &data, 0, Some(&plan_counts))?;
             self.engine.reset();
+            self.decisions.clear();
+            let pred = self.log_decisions.then(|| Predictions {
+                source: PredictionSource::History,
+                per_slot: plan_counts
+                    .iter()
+                    .zip(&rates)
+                    .map(|(&n, &r)| if r > 0.0 { n as f64 / r } else { 0.0 })
+                    .collect(),
+            });
             let mut base_ready = vec![SimTime::ZERO; slots.len()];
             self.run_static(
                 &learned,
@@ -473,6 +579,7 @@ impl Runtime {
                 false,
                 region.algorithm,
                 Some(&plan),
+                pred,
             )?
         } else {
             self.offload(region, kernel)?
@@ -544,6 +651,7 @@ impl Runtime {
         }
 
         self.engine.reset();
+        self.decisions.clear();
 
         // Serialized offload (plain multi-device `target` without
         // `parallel`): proxy i may only start once proxy i-1 has issued
@@ -559,23 +667,29 @@ impl Runtime {
                 self.check_capacity(slots, &plan, 0, Some(&counts))?;
                 self.run_static(
                     region, kernel, &plan, &counts, slots, &mut base_ready, data_resident,
-                    algorithm, None,
+                    algorithm, None, None,
                 )
             }
             Algorithm::Model1 { cutoff } => {
                 let mp = model1_plan(&slot_params, &intensity, region.trip_count, cutoff);
                 self.check_capacity(slots, &plan, 0, Some(&mp.counts))?;
+                let pred = self.log_decisions.then(|| {
+                    self.predict_static(PredictionSource::Model1, slots, &intensity, &mp.counts)
+                });
                 self.run_static(
                     region, kernel, &plan, &mp.counts, slots, &mut base_ready, data_resident,
-                    algorithm, Some(&mp),
+                    algorithm, Some(&mp), pred,
                 )
             }
             Algorithm::Model2 { cutoff } => {
                 let mp = model2_plan(&slot_params, &intensity, region.trip_count, cutoff);
                 self.check_capacity(slots, &plan, 0, Some(&mp.counts))?;
+                let pred = self.log_decisions.then(|| {
+                    self.predict_static(PredictionSource::Model2, slots, &intensity, &mp.counts)
+                });
                 self.run_static(
                     region, kernel, &plan, &mp.counts, slots, &mut base_ready, data_resident,
-                    algorithm, Some(&mp),
+                    algorithm, Some(&mp), pred,
                 )
             }
             Algorithm::Dynamic { chunk_pct } => {
@@ -846,6 +960,16 @@ impl Runtime {
                             summary.requeued_chunks += 1;
                             summary.requeued_iters += piece.len();
                             completions[s] = out_done;
+                            self.note(ChunkDecision {
+                                slot: s,
+                                device: dev,
+                                range: piece,
+                                stage: "requeue",
+                                predicted_s: None,
+                                source: None,
+                                realized_s: (out_done - cursor).as_secs(),
+                                requeued: true,
+                            });
                             cursor = out_done;
                         }
                         Err(f) => {
@@ -877,6 +1001,7 @@ impl Runtime {
         data_resident: bool,
         algorithm: Algorithm,
         model: Option<&ModelPlan>,
+        pred: Option<Predictions>,
     ) -> Result<OffloadReport, OffloadError> {
         let intensity = kernel.intensity();
         let n = slots.len();
@@ -921,6 +1046,16 @@ impl Runtime {
                         serial_cursor = in_done;
                     }
                     completions[s] = out_done;
+                    self.note(ChunkDecision {
+                        slot: s,
+                        device: dev,
+                        range: my,
+                        stage: "static",
+                        predicted_s: pred.as_ref().map(|p| p.per_slot[s]),
+                        source: pred.as_ref().map(|p| p.source),
+                        realized_s: (out_done - base_ready[s]).as_secs(),
+                        requeued: false,
+                    });
                 }
                 Err(f) => {
                     quarantined[s] = true;
@@ -946,7 +1081,17 @@ impl Runtime {
             &mut chunks,
             &mut summary,
         )?;
-        Ok(self.finish(region, slots, exec_counts, &completions, algorithm, model, chunks, summary))
+        Ok(self.finish(
+            region,
+            slots,
+            exec_counts,
+            &completions,
+            algorithm,
+            model,
+            chunks,
+            summary,
+            intensity.flops_per_iter,
+        ))
     }
 
     /// Multi-stage chunk scheduling with transfer/compute overlap:
@@ -1052,6 +1197,16 @@ impl Runtime {
                         summary.requeued_iters += chunk.len();
                     }
                     completions[s] = out_done;
+                    self.note(ChunkDecision {
+                        slot: s,
+                        device: dev,
+                        range: chunk,
+                        stage: if requeued { "requeue" } else { "chunk" },
+                        predicted_s: None,
+                        source: None,
+                        realized_s: (out_done - grab_at).as_secs(),
+                        requeued,
+                    });
                     // Grab the next chunk once this transfer is in *and*
                     // the previous compute has started draining —
                     // depth-1 prefetch.
@@ -1100,7 +1255,17 @@ impl Runtime {
             }
         }
         let chunks = queue.chunks_handed();
-        Ok(self.finish(region, slots, counts, &completions, algorithm, None, chunks, summary))
+        Ok(self.finish(
+            region,
+            slots,
+            counts,
+            &completions,
+            algorithm,
+            None,
+            chunks,
+            summary,
+            intensity.flops_per_iter,
+        ))
     }
 
     /// Two-stage profiling: sample, broadcast throughputs, distribute the
@@ -1156,6 +1321,16 @@ impl Runtime {
                         counts[s] += my.len();
                         kernel.execute(my);
                         throughputs[s] = tp;
+                        self.note(ChunkDecision {
+                            slot: s,
+                            device: dev,
+                            range: my,
+                            stage: "sample",
+                            predicted_s: None,
+                            source: None,
+                            realized_s: (end - base).as_secs(),
+                            requeued: false,
+                        });
                     }
                     // The sample's out-data drains with the stage-2 data;
                     // stage-1 end is the compute completion.
@@ -1228,6 +1403,17 @@ impl Runtime {
                     kernel.execute(my);
                     counts[s] += my.len();
                     completions[s] = out_done;
+                    self.note(ChunkDecision {
+                        slot: s,
+                        device: dev,
+                        range: my,
+                        stage: "stage2",
+                        predicted_s: (throughputs[s] > 0.0)
+                            .then(|| my.len() as f64 / throughputs[s]),
+                        source: (throughputs[s] > 0.0).then_some(PredictionSource::Measured),
+                        realized_s: (out_done - barrier).as_secs(),
+                        requeued: false,
+                    });
                 }
                 Err(f) => {
                     quarantined[s] = true;
@@ -1250,7 +1436,17 @@ impl Runtime {
             &mut chunks,
             &mut summary,
         )?;
-        Ok(self.finish(region, slots, counts, &completions, algorithm, Some(&mp), chunks, summary))
+        Ok(self.finish(
+            region,
+            slots,
+            counts,
+            &completions,
+            algorithm,
+            Some(&mp),
+            chunks,
+            summary,
+            intensity.flops_per_iter,
+        ))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1264,6 +1460,7 @@ impl Runtime {
         model: Option<&ModelPlan>,
         chunks: u64,
         faults: FaultSummary,
+        flops_per_iter: f64,
     ) -> OffloadReport {
         let release = self.engine.barrier(slots, completions);
         let trace = self.engine.take_trace();
@@ -1281,6 +1478,8 @@ impl Runtime {
             chunks,
             imbalance_pct: breakdown.imbalance_pct(),
             faults,
+            flops_per_iter,
+            decisions: std::mem::take(&mut self.decisions),
             trace,
         }
     }

@@ -17,6 +17,9 @@
 //! * [`fault`] — deterministic fault injection (transient DMA errors,
 //!   launch timeouts, permanent device dropout).
 //! * [`trace`] — operation traces, Fig.-6-style breakdowns, ASCII Gantt.
+//! * [`metrics`] — per-device utilization, DMA/compute overlap, queue
+//!   wait, byte/iteration counters and fault tallies, all derived from a
+//!   finished trace (pure read-side observability).
 //! * [`profile`] — simulated microbenchmark profiling of machine
 //!   constants (the runtime measures devices, it never reads ground
 //!   truth).
@@ -29,6 +32,7 @@ pub mod engine;
 pub mod fault;
 pub mod machine;
 pub mod memory;
+pub mod metrics;
 pub mod noise;
 pub mod profile;
 pub mod time;
@@ -39,7 +43,8 @@ pub use engine::{ChunkWork, Dir, Engine, TeamSched};
 pub use fault::{DeviceFaultPlan, Fault, FaultKind, FaultPlan};
 pub use machine::{Machine, MachineParseError};
 pub use memory::{mapping_decision, MappingDecision, MemorySpace};
+pub use metrics::{DeviceMetrics, Metrics};
 pub use noise::NoiseModel;
-pub use profile::{profile_device, profile_machine};
+pub use profile::{profile_device, profile_machine, solve_hockney};
 pub use time::{SimSpan, SimTime};
 pub use trace::{Breakdown, LabelId, OpKind, Trace, TraceEvent};

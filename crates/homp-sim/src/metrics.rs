@@ -1,0 +1,391 @@
+//! Trace-derived per-device metrics — the observability layer's
+//! simulator half.
+//!
+//! [`crate::trace::Breakdown`] answers "how much time went to each
+//! operation category"; [`Metrics`] answers the follow-on questions an
+//! operator debugging a distribution asks: how *utilized* was each
+//! device (union of busy intervals over the makespan, so triple-counted
+//! overlap does not inflate the number), how much DMA actually hid
+//! behind compute, how long did work sit between operations, how many
+//! bytes and iterations moved, and what did fault handling cost.
+//!
+//! Everything here is computed after the fact from an immutable
+//! [`Trace`] — recording metrics can never perturb the simulation
+//! (golden traces stay byte-identical with metrics on or off).
+
+use crate::trace::{OpKind, Trace};
+
+/// Merge possibly-overlapping `(start, end)` intervals into a sorted
+/// disjoint set. Zero-length intervals are dropped.
+fn merge(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|&(s, e)| e > s);
+    iv.sort_by(|a, b| a.partial_cmp(b).expect("finite interval bounds"));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of a merged (sorted, disjoint) interval set. Folds from
+/// `+0.0`: `Iterator::sum` for floats starts at `-0.0`, which would leak
+/// a negative zero out of an empty set.
+fn total_len(merged: &[(f64, f64)]) -> f64 {
+    merged.iter().fold(0.0, |acc, &(s, e)| acc + (e - s))
+}
+
+/// Length of the intersection of two merged interval sets.
+fn intersection_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            acc += hi - lo;
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    acc
+}
+
+/// Metrics for one device, computed from its trace events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceMetrics {
+    /// Summed span, seconds, per [`OpKind`] (in `OpKind::ALL` order) —
+    /// identical to what [`crate::trace::Breakdown::busy`] reports.
+    pub busy_s: [f64; OpKind::N],
+    /// Length of the union of this device's working intervals (every
+    /// kind except SYNC and BACKOFF), seconds. Never exceeds the
+    /// makespan, even though a device's three engines overlap.
+    pub busy_union_s: f64,
+    /// Length of the union of KERNEL intervals, seconds.
+    pub compute_s: f64,
+    /// Length of the union of H2D + D2H intervals, seconds.
+    pub dma_s: f64,
+    /// Seconds during which a DMA interval and a compute interval were
+    /// simultaneously active on this device.
+    pub overlap_s: f64,
+    /// `overlap_s` over the smaller of `compute_s`/`dma_s` — the
+    /// fraction of the hideable work that was actually hidden. In
+    /// `[0, 1]`; 0 when the device did no compute or no DMA.
+    pub overlap_fraction: f64,
+    /// `busy_union_s / makespan` — fraction of the region the device
+    /// spent doing anything. In `[0, 1]`.
+    pub utilization: f64,
+    /// Idle time inside the device's own active window (last end minus
+    /// first start, minus the busy union): time work spent queued
+    /// between operations, seconds.
+    pub queue_wait_s: f64,
+    /// End of the device's last non-SYNC event (its completion time).
+    pub completion_s: f64,
+    /// Bytes moved host-to-device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device-to-host.
+    pub d2h_bytes: u64,
+    /// Kernel iterations executed.
+    pub kernel_iters: u64,
+    /// FAULT events observed (injected faults that hit this device).
+    pub fault_events: u64,
+    /// BACKOFF events (retry waits after transient faults).
+    pub backoff_events: u64,
+    /// FAILOVER events (requeue bookkeeping paid by this survivor).
+    pub failover_events: u64,
+}
+
+/// Per-device metrics for one traced region.
+///
+/// Built with [`Metrics::from_trace`]; tolerates traces mentioning
+/// devices at or beyond the nominal `n_devices` (rows grow to fit, they
+/// never panic).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Region makespan, seconds (latest event end).
+    pub makespan_s: f64,
+    /// One entry per device, indexed by device id.
+    pub devices: Vec<DeviceMetrics>,
+}
+
+impl Metrics {
+    /// Compute metrics from a trace. `n_devices` sets the minimum number
+    /// of rows; devices with ids beyond it grow the vector instead of
+    /// panicking.
+    pub fn from_trace(trace: &Trace, n_devices: usize) -> Metrics {
+        let rows = trace
+            .events()
+            .iter()
+            .map(|e| e.device as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(n_devices);
+        let makespan_s = trace.makespan().as_secs();
+        let mut devices = vec![DeviceMetrics::default(); rows];
+        let mut compute_iv: Vec<Vec<(f64, f64)>> = vec![Vec::new(); rows];
+        let mut dma_iv: Vec<Vec<(f64, f64)>> = vec![Vec::new(); rows];
+        let mut work_iv: Vec<Vec<(f64, f64)>> = vec![Vec::new(); rows];
+
+        for e in trace.events() {
+            let d = e.device as usize;
+            let m = &mut devices[d];
+            let slot = OpKind::ALL.iter().position(|k| *k == e.kind).expect("known kind");
+            let (s, t) = (e.start.as_secs(), e.end.as_secs());
+            m.busy_s[slot] += t - s;
+            match e.kind {
+                OpKind::Kernel => {
+                    m.kernel_iters += e.amount;
+                    compute_iv[d].push((s, t));
+                }
+                OpKind::H2D => {
+                    m.h2d_bytes += e.amount;
+                    dma_iv[d].push((s, t));
+                }
+                OpKind::D2H => {
+                    m.d2h_bytes += e.amount;
+                    dma_iv[d].push((s, t));
+                }
+                OpKind::Fault => m.fault_events += 1,
+                OpKind::Backoff => m.backoff_events += 1,
+                OpKind::Failover => m.failover_events += 1,
+                OpKind::Init | OpKind::Sync => {}
+            }
+            // Working interval: everything but barrier waits and retry
+            // backoffs (neither holds a device engine busy).
+            if !matches!(e.kind, OpKind::Sync | OpKind::Backoff) {
+                work_iv[d].push((s, t));
+                if e.kind != OpKind::Sync {
+                    m.completion_s = m.completion_s.max(t);
+                }
+            }
+        }
+
+        for (d, m) in devices.iter_mut().enumerate() {
+            let work = merge(std::mem::take(&mut work_iv[d]));
+            let compute = merge(std::mem::take(&mut compute_iv[d]));
+            let dma = merge(std::mem::take(&mut dma_iv[d]));
+            m.busy_union_s = total_len(&work);
+            m.compute_s = total_len(&compute);
+            m.dma_s = total_len(&dma);
+            m.overlap_s = intersection_len(&compute, &dma);
+            let hideable = m.compute_s.min(m.dma_s);
+            m.overlap_fraction = if hideable > 0.0 { (m.overlap_s / hideable).min(1.0) } else { 0.0 };
+            m.utilization =
+                if makespan_s > 0.0 { (m.busy_union_s / makespan_s).min(1.0) } else { 0.0 };
+            m.queue_wait_s = match (work.first(), work.last()) {
+                (Some(&(first, _)), Some(&(_, last))) => {
+                    ((last - first) - m.busy_union_s).max(0.0)
+                }
+                _ => 0.0,
+            };
+        }
+        Metrics { makespan_s, devices }
+    }
+
+    /// Total bytes moved host-to-device across all devices.
+    pub fn total_h2d_bytes(&self) -> u64 {
+        self.devices.iter().map(|d| d.h2d_bytes).sum()
+    }
+
+    /// Total bytes moved device-to-host across all devices.
+    pub fn total_d2h_bytes(&self) -> u64 {
+        self.devices.iter().map(|d| d.d2h_bytes).sum()
+    }
+
+    /// Total kernel iterations executed across all devices.
+    pub fn total_kernel_iters(&self) -> u64 {
+        self.devices.iter().map(|d| d.kernel_iters).sum()
+    }
+
+    /// Total FLOPs executed, given the kernel's per-iteration FLOP count.
+    pub fn total_flops(&self, flops_per_iter: f64) -> f64 {
+        self.total_kernel_iters() as f64 * flops_per_iter
+    }
+
+    /// Total fault / backoff / failover events across all devices.
+    pub fn total_fault_events(&self) -> (u64, u64, u64) {
+        self.devices.iter().fold((0, 0, 0), |(f, b, v), d| {
+            (f + d.fault_events, b + d.backoff_events, v + d.failover_events)
+        })
+    }
+
+    /// The paper's load-balance ratio: max over min completion time
+    /// among devices that completed any work. `1.0` with fewer than two
+    /// participants.
+    pub fn load_balance_ratio(&self) -> f64 {
+        load_balance_ratio(self.devices.iter().map(|d| d.completion_s))
+    }
+}
+
+/// Max/min completion-time ratio over the participating (non-zero)
+/// completions — the Table IV/V load-balance metric. `1.0` with fewer
+/// than two participants.
+pub(crate) fn load_balance_ratio(completions: impl Iterator<Item = f64>) -> f64 {
+    let (mut lo, mut hi, mut n) = (f64::INFINITY, 0.0f64, 0usize);
+    for c in completions.filter(|c| *c > 0.0) {
+        lo = lo.min(c);
+        hi = hi.max(c);
+        n += 1;
+    }
+    if n < 2 || lo <= 0.0 {
+        1.0
+    } else {
+        hi / lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use proptest::prelude::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn counters_and_unions_from_simple_trace() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::H2D, t(0.0), t(1.0), 100, "in");
+        tr.record(0, OpKind::Kernel, t(0.5), t(2.5), 10, "k");
+        tr.record(0, OpKind::D2H, t(2.5), t(3.0), 50, "out");
+        tr.record(1, OpKind::Kernel, t(0.0), t(4.0), 7, "k");
+        let m = Metrics::from_trace(&tr, 2);
+        assert_eq!(m.makespan_s, 4.0);
+        let d0 = &m.devices[0];
+        assert_eq!(d0.h2d_bytes, 100);
+        assert_eq!(d0.d2h_bytes, 50);
+        assert_eq!(d0.kernel_iters, 10);
+        assert_eq!(d0.compute_s, 2.0);
+        assert_eq!(d0.dma_s, 1.5);
+        // H2D [0,1] overlaps kernel [0.5,2.5] for 0.5 s.
+        assert!((d0.overlap_s - 0.5).abs() < 1e-12);
+        assert!((d0.overlap_fraction - 0.5 / 1.5).abs() < 1e-12);
+        // Busy union [0,3] over makespan 4.
+        assert!((d0.utilization - 0.75).abs() < 1e-12);
+        assert_eq!(d0.queue_wait_s, 0.0);
+        assert_eq!(d0.completion_s, 3.0);
+        assert_eq!(m.total_kernel_iters(), 17);
+        assert!((m.load_balance_ratio() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_wait_counts_gaps_inside_active_window() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::H2D, t(0.0), t(1.0), 8, "in");
+        tr.record(0, OpKind::Kernel, t(2.0), t(3.0), 1, "k");
+        let m = Metrics::from_trace(&tr, 1);
+        assert!((m.devices[0].queue_wait_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_events_counted_not_busy() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::Fault, t(0.0), t(1.0), 0, "dma-error");
+        tr.record(0, OpKind::Backoff, t(1.0), t(1.5), 0, "retry-backoff");
+        tr.record(0, OpKind::Failover, t(1.5), t(1.6), 0, "requeue");
+        let m = Metrics::from_trace(&tr, 1);
+        let d = &m.devices[0];
+        assert_eq!((d.fault_events, d.backoff_events, d.failover_events), (1, 1, 1));
+        // Backoff is excluded from the working union; fault + failover
+        // hold the device.
+        assert!((d.busy_union_s - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerates_devices_beyond_n_devices() {
+        let mut tr = Trace::new();
+        tr.record(5, OpKind::Kernel, t(0.0), t(1.0), 3, "k");
+        let m = Metrics::from_trace(&tr, 2);
+        assert_eq!(m.devices.len(), 6);
+        assert_eq!(m.devices[5].kernel_iters, 3);
+        assert_eq!(m.devices[0].kernel_iters, 0);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let m = Metrics::from_trace(&Trace::new(), 3);
+        assert_eq!(m.makespan_s, 0.0);
+        assert_eq!(m.devices.len(), 3);
+        assert!(m.devices.iter().all(|d| d.utilization == 0.0));
+        assert_eq!(m.load_balance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let merged = merge(vec![(0.0, 1.0), (0.5, 2.0), (3.0, 4.0), (4.0, 4.0)]);
+        assert_eq!(merged, vec![(0.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(total_len(&merged), 3.0);
+        let other = merge(vec![(1.5, 3.5)]);
+        assert!((intersection_len(&merged, &other) - 1.0).abs() < 1e-12);
+        assert_eq!(intersection_len(&merged, &[]), 0.0);
+    }
+
+    /// Random event soup for the property tests below: bounded times,
+    /// every kind, a few devices.
+    fn arb_trace() -> impl Strategy<Value = Trace> {
+        proptest::collection::vec(
+            (0u32..4, 0usize..OpKind::N, 0.0f64..10.0, 0.0f64..2.0, 0u64..1000),
+            0..40,
+        )
+        .prop_map(|evs| {
+            let mut tr = Trace::new();
+            for (dev, kind, start, len, amount) in evs {
+                let kind = OpKind::ALL[kind];
+                tr.record(dev, kind, t(start), t(start + len), amount, "e");
+            }
+            tr
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn utilization_and_overlap_are_fractions(tr in arb_trace()) {
+            let m = Metrics::from_trace(&tr, 4);
+            for d in &m.devices {
+                prop_assert!((0.0..=1.0).contains(&d.utilization), "util {}", d.utilization);
+                prop_assert!(
+                    (0.0..=1.0).contains(&d.overlap_fraction),
+                    "overlap {}", d.overlap_fraction
+                );
+                prop_assert!(d.queue_wait_s >= 0.0);
+                prop_assert!(d.busy_union_s <= m.makespan_s + 1e-9);
+            }
+        }
+
+        #[test]
+        fn per_device_busy_matches_trace_spans(tr in arb_trace()) {
+            let m = Metrics::from_trace(&tr, 4);
+            let mut expect = vec![[0.0f64; OpKind::N]; m.devices.len()];
+            for e in tr.events() {
+                let slot = OpKind::ALL.iter().position(|k| *k == e.kind).unwrap();
+                expect[e.device as usize][slot] += e.span().as_secs();
+            }
+            for (d, m) in m.devices.iter().enumerate() {
+                for (slot, want) in expect[d].iter().enumerate() {
+                    prop_assert!(
+                        (m.busy_s[slot] - want).abs() < 1e-9,
+                        "device {d} kind {slot}: {} vs {}", m.busy_s[slot], want
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn busy_union_never_exceeds_kind_sum(tr in arb_trace()) {
+            let m = Metrics::from_trace(&tr, 4);
+            for d in &m.devices {
+                let sum: f64 = d.busy_s.iter().sum();
+                prop_assert!(d.busy_union_s <= sum + 1e-9);
+                prop_assert!(d.overlap_s <= d.compute_s.min(d.dma_s) + 1e-9);
+            }
+        }
+    }
+}

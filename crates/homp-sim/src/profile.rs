@@ -45,6 +45,37 @@ fn stream_probe() -> KernelIntensity {
     }
 }
 
+/// Solve the Hockney α–β model from two transfer timings
+/// (`small` bytes in `t_small` seconds, `large` bytes in `t_large`).
+///
+/// Returns `None` when both timings are zero (shared memory — no
+/// measurable link). Under heavy noise the two-point solve can
+/// degenerate: `t_large <= t_small` would yield an infinite or negative
+/// bandwidth, so those cases fall back to a single-point estimate from
+/// the bandwidth-dominated large transfer (zero latency) — a biased but
+/// finite and positive model, which is all a scheduler can ask of a
+/// corrupted measurement.
+pub fn solve_hockney(small: u64, t_small: f64, large: u64, t_large: f64) -> Option<Hockney> {
+    debug_assert!(large > small, "probe sizes must be distinct and increasing");
+    if t_small <= 0.0 && t_large <= 0.0 {
+        return None; // shared memory — no measurable link
+    }
+    if t_large > t_small {
+        let beta = (large - small) as f64 / (t_large - t_small);
+        let alpha = (t_small - small as f64 / beta).max(0.0);
+        if beta.is_finite() && beta > 0.0 && alpha.is_finite() {
+            return Some(Hockney::new(alpha, beta));
+        }
+    }
+    // Degenerate ordering: estimate bandwidth from whichever probe
+    // actually took time, preferring the large (less latency-biased) one.
+    if t_large > 0.0 {
+        Some(Hockney::new(0.0, large as f64 / t_large))
+    } else {
+        Some(Hockney::new(0.0, small as f64 / t_small))
+    }
+}
+
 /// Measure one device's parameters via simulated microbenchmarks.
 pub fn profile_device(engine: &Engine, dev: DeviceId) -> MeasuredParams {
     let mut scratch = engine.clone();
@@ -59,13 +90,7 @@ pub fn profile_device(engine: &Engine, dev: DeviceId) -> MeasuredParams {
     let t_large_end = scratch.transfer(dev, large, Dir::H2D, before, "probe-large");
     let t_large = (t_large_end - before).as_secs();
 
-    let link = if t_small == 0.0 && t_large == 0.0 {
-        None // shared memory — no measurable link
-    } else {
-        let beta = (large - small) as f64 / (t_large - t_small);
-        let alpha = (t_small - small as f64 / beta).max(0.0);
-        Some(Hockney::new(alpha, beta))
-    };
+    let link = solve_hockney(small, t_small, large, t_large);
 
     // --- compute rate. --------------------------------------------------
     let cp = compute_probe();
@@ -144,6 +169,65 @@ mod tests {
         let _ = profile_machine(&e);
         assert!(e.trace().is_empty());
         assert_eq!(e.compute_free_at(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn solve_hockney_recovers_and_survives_degenerate_timings() {
+        let (small, large) = (1u64 << 16, 1u64 << 26);
+        // Clean two-point data recovers the ground truth.
+        let h = solve_hockney(
+            small,
+            1e-5 + small as f64 / 1e10,
+            large,
+            1e-5 + large as f64 / 1e10,
+        )
+        .unwrap();
+        assert!((h.beta - 1e10).abs() / 1e10 < 1e-9);
+        assert!((h.alpha - 1e-5).abs() < 1e-12);
+        // Inverted ordering (noise): single-point fallback on the large
+        // probe, zero latency.
+        let h = solve_hockney(small, 2e-3, large, 1e-3).unwrap();
+        assert_eq!(h.alpha, 0.0);
+        assert!((h.beta - large as f64 / 1e-3).abs() < 1.0);
+        // Equal timings: same fallback, still finite and positive.
+        let h = solve_hockney(small, 1e-3, large, 1e-3).unwrap();
+        assert!(h.beta.is_finite() && h.beta > 0.0);
+        // Both zero: shared memory, no link.
+        assert!(solve_hockney(small, 0.0, large, 0.0).is_none());
+    }
+
+    #[test]
+    fn adversarial_noise_seed_cannot_break_profiling() {
+        // Hunt for a seed where ±99.9% jitter makes the 64 MiB probe
+        // appear *faster* than the 64 KiB one — the case whose two-point
+        // solve would demand a negative bandwidth.
+        let (small, large) = (1u64 << 16, 1u64 << 26);
+        let mut hit = None;
+        for seed in 0..50_000u64 {
+            let e = Engine::new(Machine::four_k40(), NoiseModel::new(seed, 0.999));
+            let mut scratch = e.clone();
+            scratch.reset();
+            let t_small =
+                scratch.transfer(0, small, Dir::H2D, SimTime::ZERO, "probe-small").as_secs();
+            let before = scratch.dma_free_at(0);
+            let t_large =
+                (scratch.transfer(0, large, Dir::H2D, before, "probe-large") - before).as_secs();
+            if t_large <= t_small {
+                hit = Some((seed, e));
+                break;
+            }
+        }
+        let (seed, e) = hit.expect("an inverting seed exists in the scan range");
+        let p = profile_device(&e, 0);
+        let link = p.link.expect("K40 has a link");
+        assert!(
+            link.beta.is_finite() && link.beta > 0.0,
+            "seed {seed}: beta {}",
+            link.beta
+        );
+        assert!(link.alpha.is_finite() && link.alpha >= 0.0);
+        assert!(p.perf_flops.is_finite() && p.perf_flops > 0.0);
+        assert!(p.mem_bw.is_finite() && p.mem_bw > 0.0);
     }
 
     #[test]

@@ -267,7 +267,17 @@ impl Trace {
         if total <= 0.0 || width == 0 {
             return String::new();
         }
-        let mut rows = vec![vec![' '; width]; n_devices];
+        // Grow past `n_devices` if the trace mentions higher device ids
+        // (e.g. a merged trace or a machine-file mismatch) — a chart
+        // with extra rows beats a panic.
+        let rows_n = self
+            .events
+            .iter()
+            .map(|e| e.device as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(n_devices);
+        let mut rows = vec![vec![' '; width]; rows_n];
         for e in &self.events {
             let glyph = match e.kind {
                 OpKind::Init => 'i',
@@ -365,6 +375,13 @@ impl Breakdown {
         sum / participants.len() as f64
     }
 
+    /// The paper's Table IV/V load-balance metric: the ratio of the
+    /// maximum to the minimum completion time over devices that did any
+    /// work. `1.0` when fewer than two devices participated.
+    pub fn load_balance_ratio(&self) -> f64 {
+        crate::metrics::load_balance_ratio(self.completion.iter().map(|c| c.as_secs()))
+    }
+
     /// Makespan of the region.
     pub fn makespan(&self) -> SimTime {
         self.makespan
@@ -460,6 +477,31 @@ mod tests {
         assert!(g.contains("dev0 |"));
         assert!(g.contains('#'));
         assert!(g.contains('<'));
+    }
+
+    #[test]
+    fn gantt_tolerates_out_of_range_device_ids() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::Kernel, t(0.0), t(1.0), 1, "k");
+        // Device 5 on a "2-device" chart: rows grow instead of panicking.
+        tr.record(5, OpKind::Kernel, t(0.0), t(0.5), 1, "k");
+        let g = tr.gantt(2, 20);
+        assert!(g.contains("dev5 |"));
+        assert_eq!(g.matches('|').count(), 12, "6 rows, two bars each:\n{g}");
+    }
+
+    #[test]
+    fn load_balance_ratio_is_max_over_min_completion() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::Kernel, t(0.0), t(4.0), 1, "k");
+        tr.record(1, OpKind::Kernel, t(0.0), t(2.0), 1, "k");
+        // device 2 idle — excluded.
+        let b = tr.breakdown(3);
+        assert!((b.load_balance_ratio() - 2.0).abs() < 1e-12);
+        // A single participant has nothing to be imbalanced against.
+        let mut solo = Trace::new();
+        solo.record(0, OpKind::Kernel, t(0.0), t(1.0), 1, "k");
+        assert_eq!(solo.breakdown(2).load_balance_ratio(), 1.0);
     }
 
     #[test]

@@ -73,11 +73,11 @@ pub use homp_sim as sim;
 /// The items most programs need.
 pub mod prelude {
     pub use homp_core::{
-        Algorithm, CompileOptions, FaultConfig, FnKernel, Homp, LoopKernel, OffloadRegion,
-        OffloadReport, Range, Runtime,
+        Algorithm, ChunkDecision, CompileOptions, FaultConfig, FnKernel, Homp, LoopKernel,
+        OffloadRegion, OffloadReport, Range, RunReport, Runtime,
     };
     pub use homp_kernels::{KernelSpec, PhantomKernel};
     pub use homp_lang::{parse_directive, Env};
     pub use homp_model::KernelIntensity;
-    pub use homp_sim::{FaultPlan, Machine, SimSpan, SimTime};
+    pub use homp_sim::{FaultPlan, Machine, Metrics, SimSpan, SimTime};
 }
