@@ -61,7 +61,7 @@ fn bench_compile(c: &mut Criterion) {
                     &[&data, &lp],
                     &env,
                     TYPES,
-                    &CompileOptions::new("jacobi", 256).with_loop_label("loop1"),
+                    &CompileOptions::for_loop("jacobi", 256).with_loop_label("loop1"),
                 )
                 .unwrap(),
             )

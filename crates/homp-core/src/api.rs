@@ -20,7 +20,7 @@
 //!             "#pragma omp parallel for distribute dist_schedule(target:[AUTO])",
 //!         ],
 //!         &env,
-//!         homp_core::compile::CompileOptions::new("axpy", 1_000),
+//!         homp_core::compile::CompileOptions::for_loop("axpy", 1_000),
 //!     )
 //!     .unwrap();
 //!
@@ -45,11 +45,16 @@
 //! assert!(report.time_ms() > 0.0);
 //! ```
 
-use crate::compile::{compile, CompileError, CompileOptions};
+use crate::compile::{
+    compile, compile_data_region, compile_update, CompileError, CompileOptions,
+};
 use crate::offload::OffloadRegion;
-use crate::runtime::{FaultConfig, LoopKernel, OffloadError, OffloadReport, Runtime};
+use crate::runtime::{
+    DataRegionReport, FaultConfig, LoopKernel, OffloadError, OffloadReport, Runtime,
+    RuntimeConfig, UpdateReport,
+};
 use homp_lang::{parse_directive, Env, ParseError};
-use homp_sim::{Machine, NoiseModel};
+use homp_sim::{Machine, TransferStats};
 
 /// Error from the facade: parse, compile or offload failure.
 #[derive(Debug)]
@@ -93,7 +98,16 @@ impl std::fmt::Display for HompError {
     }
 }
 
-impl std::error::Error for HompError {}
+impl std::error::Error for HompError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HompError::Parse(e) => Some(e),
+            HompError::Compile(e) => Some(e),
+            HompError::Offload(e) => Some(e),
+            HompError::HaloExchange(_) => None,
+        }
+    }
+}
 
 /// The HOMP system: a machine, its runtime, and the directive pipeline.
 pub struct Homp {
@@ -102,31 +116,33 @@ pub struct Homp {
 }
 
 impl Homp {
-    /// HOMP over `machine` with the default noise seed.
+    /// HOMP over `machine` with the default configuration.
     pub fn new(machine: Machine) -> Self {
-        Self::with_seed(machine, 42)
+        Self::with_config(machine, &RuntimeConfig::new())
     }
 
     /// HOMP with an explicit noise seed.
     pub fn with_seed(machine: Machine, seed: u64) -> Self {
-        let type_names: Vec<&'static str> =
-            machine.devices.iter().map(|d| d.dev_type.homp_name()).collect();
-        Self { runtime: Runtime::new(machine, seed), type_names }
+        Self::with_config(machine, &RuntimeConfig::new().seed(seed))
     }
 
     /// Noiseless HOMP (deterministic cost model without jitter).
     pub fn noiseless(machine: Machine) -> Self {
-        let type_names: Vec<&'static str> =
-            machine.devices.iter().map(|d| d.dev_type.homp_name()).collect();
-        Self { runtime: Runtime::with_noise(machine, NoiseModel::disabled()), type_names }
+        Self::with_config(machine, &RuntimeConfig::new().noiseless())
     }
 
     /// HOMP with fault injection: like [`Homp::with_seed`] plus a
     /// [`FaultConfig`] governing injected faults and recovery.
     pub fn with_faults(machine: Machine, seed: u64, faults: FaultConfig) -> Self {
-        let mut homp = Self::with_seed(machine, seed);
-        homp.set_fault_config(faults);
-        homp
+        Self::with_config(machine, &RuntimeConfig::new().seed(seed).faults(faults))
+    }
+
+    /// HOMP from a full [`RuntimeConfig`] — the single construction
+    /// funnel every other constructor goes through.
+    pub fn with_config(machine: Machine, config: &RuntimeConfig) -> Self {
+        let type_names: Vec<&'static str> =
+            machine.devices.iter().map(|d| d.dev_type.homp_name()).collect();
+        Self { runtime: config.build(machine), type_names }
     }
 
     /// Install (or clear) fault injection on the underlying runtime.
@@ -214,6 +230,125 @@ impl Homp {
         let slab = array.slab_bytes(dim);
         Ok(self.runtime.exchange_halo(&region.devices, dist, width, slab))
     }
+
+    /// Open a persistent `target data` region from directive text and
+    /// return a scoped guard. The first source must be a `target data`
+    /// directive; its maps define what becomes resident. Offloads issued
+    /// through the guard (or through [`Homp::offload`] while the guard
+    /// lives) reuse resident device data: uploads are elided when the
+    /// data is already on-device, split changes move only the delta, and
+    /// `from`/`tofrom` copy-backs are deferred until
+    /// [`DataRegion::close`] or an explicit `target update from`.
+    ///
+    /// Dropping the guard without calling `close` flushes best-effort
+    /// and discards the close report.
+    pub fn data_region(
+        &mut self,
+        sources: &[&str],
+        env: &Env,
+        opts: CompileOptions,
+    ) -> Result<DataRegion<'_>, HompError> {
+        let parsed: Vec<_> =
+            sources.iter().map(|s| parse_directive(s)).collect::<Result<_, _>>()?;
+        let refs: Vec<&_> = parsed.iter().collect();
+        let spec = compile_data_region(&refs, env, &self.type_names, &opts)?;
+        Ok(self.enter_data_region(spec))
+    }
+
+    /// Open a `target data` region from an already-built region
+    /// descriptor (the programmatic twin of [`Homp::data_region`]).
+    pub fn enter_data_region(&mut self, spec: OffloadRegion) -> DataRegion<'_> {
+        self.runtime.data_region_begin(&spec);
+        DataRegion { homp: self, spec, open: true }
+    }
+
+    /// Cumulative transfer accounting of the persistent data
+    /// environment: transferred vs. elided bytes per direction plus
+    /// redistribution traffic. All zeros until a data region opens.
+    pub fn transfer_stats(&self) -> &TransferStats {
+        self.runtime.transfer_stats()
+    }
+}
+
+/// Scoped handle to an open `target data` region. Offloads issued
+/// through it reuse resident device buffers; [`DataRegion::close`]
+/// flushes deferred copy-backs and reports what moved. The guard
+/// borrows the [`Homp`] session exclusively, so region nesting is
+/// explicit and a region cannot outlive its session.
+pub struct DataRegion<'h> {
+    homp: &'h mut Homp,
+    spec: OffloadRegion,
+    open: bool,
+}
+
+impl DataRegion<'_> {
+    /// The region descriptor whose maps opened this environment.
+    pub fn spec(&self) -> &OffloadRegion {
+        &self.spec
+    }
+
+    /// Offload a region inside this data environment. Arrays mapped by
+    /// the environment elide transfers for resident data; arrays the
+    /// environment does not know behave as in a plain offload.
+    pub fn offload(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+    ) -> Result<OffloadReport, HompError> {
+        Ok(self.homp.runtime.offload(region, kernel)?)
+    }
+
+    /// Offload the data region's own loop spec (trip count, algorithm,
+    /// devices and maps as declared by the `target data` directives).
+    pub fn offload_here(
+        &mut self,
+        kernel: &mut dyn LoopKernel,
+    ) -> Result<OffloadReport, HompError> {
+        let spec = self.spec.clone();
+        Ok(self.homp.runtime.offload(&spec, kernel)?)
+    }
+
+    /// Execute a `#pragma omp target update to(…) from(…)` directive:
+    /// force-refresh the named arrays' device copies from the host and/or
+    /// copy device data back, regardless of dirty state.
+    pub fn update(&mut self, directive_src: &str) -> Result<UpdateReport, HompError> {
+        let d = parse_directive(directive_src)?;
+        let spec = compile_update(&d)?;
+        let to: Vec<&str> = spec.to.iter().map(String::as_str).collect();
+        let from: Vec<&str> = spec.from.iter().map(String::as_str).collect();
+        Ok(self.homp.runtime.target_update(&to, &from)?)
+    }
+
+    /// Execute a halo-exchange directive against a region (see
+    /// [`Homp::halo_exchange`]).
+    pub fn halo_exchange(
+        &mut self,
+        directive_src: &str,
+        region: &OffloadRegion,
+        dist: &crate::dist::Distribution,
+    ) -> Result<homp_sim::SimSpan, HompError> {
+        self.homp.halo_exchange(directive_src, region, dist)
+    }
+
+    /// Cumulative environment transfer accounting.
+    pub fn stats(&self) -> &TransferStats {
+        self.homp.runtime.transfer_stats()
+    }
+
+    /// Close the region: flush deferred dirty copy-backs, release the
+    /// persistent device allocations, and report what moved.
+    pub fn close(mut self) -> Result<DataRegionReport, HompError> {
+        self.open = false;
+        Ok(self.homp.runtime.data_region_end()?)
+    }
+}
+
+impl Drop for DataRegion<'_> {
+    fn drop(&mut self) {
+        if self.open {
+            let _ = self.homp.runtime.data_region_end();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -238,7 +373,7 @@ mod tests {
                      dist_schedule(target:[SCHED_DYNAMIC,2%])",
                 ],
                 &env,
-                CompileOptions::new("axpy", 5_000),
+                CompileOptions::for_loop("axpy", 5_000),
             )
             .unwrap();
         let mut executed = 0u64;
@@ -260,7 +395,7 @@ mod tests {
     fn bad_directive_surfaces_parse_error() {
         let homp = Homp::new(Machine::four_k40());
         let err = homp
-            .compile_source(&["#pragma omp frobnicate"], &Env::new(), CompileOptions::new("k", 1))
+            .compile_source(&["#pragma omp frobnicate"], &Env::new(), CompileOptions::for_loop("k", 1))
             .unwrap_err();
         assert!(matches!(err, HompError::Parse(_)));
     }
@@ -296,7 +431,7 @@ mod more_tests {
                     "#pragma omp parallel for distribute dist_schedule(target:[BLOCK])",
                 ],
                 &env,
-                crate::compile::CompileOptions::new("resident", 10_000),
+                crate::compile::CompileOptions::for_loop("resident", 10_000),
             )
             .unwrap();
         let mut k1 = FnKernel::new(intensity(), |_r: Range| {});
@@ -310,7 +445,7 @@ mod more_tests {
     fn error_display_is_prefixed_by_stage() {
         let homp = Homp::new(Machine::four_k40());
         let parse_err = homp
-            .compile_source(&["@@@"], &Env::new(), crate::compile::CompileOptions::new("k", 1))
+            .compile_source(&["@@@"], &Env::new(), crate::compile::CompileOptions::for_loop("k", 1))
             .unwrap_err();
         assert!(parse_err.to_string().starts_with("parse:"), "{parse_err}");
 
@@ -318,7 +453,7 @@ mod more_tests {
             .compile_source(
                 &["#pragma omp parallel for map(to: x[0:n])"],
                 &Env::new(),
-                crate::compile::CompileOptions::new("k", 1),
+                crate::compile::CompileOptions::for_loop("k", 1),
             )
             .unwrap_err();
         assert!(compile_err.to_string().starts_with("compile:"), "{compile_err}");
@@ -336,7 +471,7 @@ mod more_tests {
                     "#pragma omp parallel target data device(*)                      map(alloc: uold[0:n][0:m] partition([ALIGN(loop1)], FULL) halo(1,))",
                 ],
                 &env,
-                crate::compile::CompileOptions::new("jacobi", 64).with_loop_label("loop1"),
+                crate::compile::CompileOptions::for_loop("jacobi", 64).with_loop_label("loop1"),
             )
             .unwrap();
         let dist = crate::dist::Distribution::block(64, 4);
@@ -365,7 +500,7 @@ mod more_tests {
             .compile_source(
                 &["#pragma omp target device(*) map(to: u[0:n] partition([ALIGN(loop)]))"],
                 &env,
-                crate::compile::CompileOptions::new("k", 64),
+                crate::compile::CompileOptions::for_loop("k", 64),
             )
             .unwrap();
         let dist = crate::dist::Distribution::block(64, 4);
@@ -373,6 +508,132 @@ mod more_tests {
             .halo_exchange("#pragma omp halo_exchange (u)", &region, &dist)
             .unwrap_err();
         assert!(err.to_string().contains("without halo"), "{err}");
+    }
+
+    #[test]
+    fn data_region_elides_repeat_transfers() {
+        let mut homp = Homp::noiseless(Machine::four_k40());
+        let mut env = Env::new();
+        env.insert("n".into(), 10_000);
+        let mut region = homp
+            .data_region(
+                &[
+                    "#pragma omp parallel target data device(*) \
+                     map(to: x[0:n] partition([ALIGN(loop)]), a, n) \
+                     map(tofrom: y[0:n] partition([ALIGN(loop)]))",
+                    "#pragma omp parallel for distribute dist_schedule(target:[BLOCK])",
+                ],
+                &env,
+                CompileOptions::for_loop("axpy", 10_000),
+            )
+            .unwrap();
+        let mut k1 = FnKernel::new(intensity(), |_r: Range| {});
+        let cold = region.offload_here(&mut k1).unwrap();
+        let mut k2 = FnKernel::new(intensity(), |_r: Range| {});
+        let warm = region.offload_here(&mut k2).unwrap();
+        assert!(warm.makespan < cold.makespan, "warm {} !< cold {}", warm.makespan, cold.makespan);
+        // Second offload moved nothing: everything was resident.
+        let stats = *region.stats();
+        assert!(stats.h2d_elided_bytes >= 10_000 * 16, "elided {}", stats.h2d_elided_bytes);
+        // Copy-backs were deferred; close flushes y once.
+        let report = region.close().unwrap();
+        assert_eq!(report.flushed_bytes, 10_000 * 8);
+        // After close, the environment is inactive: a fresh offload pays
+        // full price again (no stale residency).
+        assert!(!homp.runtime().data_env().active());
+    }
+
+    #[test]
+    fn target_update_moves_resident_spans() {
+        let mut homp = Homp::noiseless(Machine::four_k40());
+        let mut env = Env::new();
+        env.insert("n".into(), 1_000);
+        let mut region = homp
+            .data_region(
+                &[
+                    "#pragma omp parallel target data device(*) \
+                     map(to: x[0:n] partition([ALIGN(loop)])) \
+                     map(tofrom: y[0:n] partition([ALIGN(loop)]))",
+                    "#pragma omp parallel for distribute dist_schedule(target:[BLOCK])",
+                ],
+                &env,
+                CompileOptions::for_loop("axpy", 1_000),
+            )
+            .unwrap();
+        let mut k = FnKernel::new(intensity(), |_r: Range| {});
+        region.offload_here(&mut k).unwrap();
+        let up = region.update("#pragma omp target update to(x)").unwrap();
+        assert_eq!(up.h2d_bytes, 1_000 * 8);
+        assert_eq!(up.d2h_bytes, 0);
+        let down = region.update("#pragma omp target update from(y)").unwrap();
+        assert_eq!(down.d2h_bytes, 1_000 * 8);
+        // The explicit `update from` drained the dirty bit: nothing left
+        // to flush at close.
+        let report = region.close().unwrap();
+        assert_eq!(report.flushed_bytes, 0);
+
+        // Updates against unmapped arrays fail cleanly.
+        let mut region = homp
+            .data_region(
+                &[
+                    "#pragma omp parallel target data device(*) \
+                     map(to: x[0:n] partition([ALIGN(loop)]))",
+                ],
+                &env,
+                CompileOptions::for_loop("axpy", 1_000),
+            )
+            .unwrap();
+        let err = region.update("#pragma omp target update to(ghost)").unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn dropping_region_guard_closes_it() {
+        let mut homp = Homp::noiseless(Machine::four_k40());
+        let mut env = Env::new();
+        env.insert("n".into(), 100);
+        {
+            let _region = homp
+                .data_region(
+                    &[
+                        "#pragma omp parallel target data device(*) \
+                         map(to: x[0:n] partition([ALIGN(loop)]))",
+                    ],
+                    &env,
+                    CompileOptions::for_loop("k", 100),
+                )
+                .unwrap();
+        }
+        assert!(!homp.runtime().data_env().active());
+    }
+
+    #[test]
+    fn config_built_facade_matches_seeded() {
+        // with_config and with_seed produce identical runs — the single
+        // construction funnel cannot drift.
+        let mk = |homp: &mut Homp| {
+            let mut env = Env::new();
+            env.insert("n".into(), 2_000);
+            let region = homp
+                .compile_source(
+                    &[
+                        "#pragma omp parallel target device(*) \
+                         map(to: x[0:n] partition([ALIGN(loop)]))",
+                        "#pragma omp parallel for distribute dist_schedule(target:[BLOCK])",
+                    ],
+                    &env,
+                    CompileOptions::for_loop("k", 2_000),
+                )
+                .unwrap();
+            let mut k = FnKernel::new(intensity(), |_r: Range| {});
+            homp.offload(&region, &mut k).unwrap().makespan
+        };
+        let mut a = Homp::with_seed(Machine::four_k40(), 7);
+        let mut b = Homp::with_config(
+            Machine::four_k40(),
+            &crate::runtime::RuntimeConfig::new().seed(7),
+        );
+        assert_eq!(mk(&mut a), mk(&mut b));
     }
 
     #[test]
@@ -389,7 +650,7 @@ mod more_tests {
                      map(to: x[0:n] partition([ALIGN(loop)]))",
                 ],
                 &env,
-                crate::compile::CompileOptions::new("single", 1_000),
+                crate::compile::CompileOptions::for_loop("single", 1_000),
             )
             .unwrap();
         assert_eq!(region.devices, vec![2]);

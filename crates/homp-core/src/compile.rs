@@ -15,6 +15,52 @@ use homp_lang::{
     resolve_devices_with_env, Clause, Directive, DistPolicy, Env, EvalError, MapItem,
     ResolveError, ScheduleKind,
 };
+use homp_model::KernelIntensity;
+
+/// A typed description of the kernel a directive set covers: what the
+/// stringly `CompileOptions::for_loop("axpy", 1_000)` used to smuggle as a
+/// bare name and number, plus the per-iteration intensity the models
+/// need. `homp-kernels`' `KernelSpec` implements this; tests can use
+/// [`KernelInfo`] for ad-hoc descriptors.
+pub trait KernelDescriptor {
+    /// Kernel label, used for trace labels and history keys.
+    fn label(&self) -> String;
+    /// Outer-loop trip count.
+    fn trip_count(&self) -> u64;
+    /// Per-outer-iteration intensity (inner loops folded in).
+    fn intensity(&self) -> KernelIntensity;
+}
+
+/// A plain-struct [`KernelDescriptor`] for kernels that exist only as a
+/// closure (tests, examples, one-off loops).
+#[derive(Debug, Clone)]
+pub struct KernelInfo {
+    /// Kernel label.
+    pub label: String,
+    /// Outer-loop trip count.
+    pub trip_count: u64,
+    /// Per-iteration intensity.
+    pub intensity: KernelIntensity,
+}
+
+impl KernelInfo {
+    /// Build from parts.
+    pub fn new(label: impl Into<String>, trip_count: u64, intensity: KernelIntensity) -> Self {
+        Self { label: label.into(), trip_count, intensity }
+    }
+}
+
+impl KernelDescriptor for KernelInfo {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+    fn trip_count(&self) -> u64 {
+        self.trip_count
+    }
+    fn intensity(&self) -> KernelIntensity {
+        self.intensity
+    }
+}
 
 /// Options the source code supplies around the directives.
 #[derive(Debug, Clone)]
@@ -27,23 +73,61 @@ pub struct CompileOptions {
     pub trip_count: u64,
     /// Element size of mapped arrays (the paper's `REAL` = 8 bytes).
     pub elem_bytes: u64,
+    /// Per-iteration intensity when the options came from a
+    /// [`KernelDescriptor`]; `None` for anonymous loops.
+    intensity: Option<KernelIntensity>,
 }
 
 impl CompileOptions {
-    /// Options with defaults for everything but the name and trip count.
-    pub fn new(kernel_name: impl Into<String>, trip_count: u64) -> Self {
+    /// Options derived from a typed kernel descriptor — name, trip count
+    /// and intensity all come from one place, so they cannot disagree.
+    pub fn for_kernel(kernel: &dyn KernelDescriptor) -> Self {
+        Self {
+            kernel_name: kernel.label(),
+            loop_label: "loop".into(),
+            trip_count: kernel.trip_count(),
+            elem_bytes: 8,
+            intensity: Some(kernel.intensity()),
+        }
+    }
+
+    /// Options for an anonymous loop with no kernel descriptor (no
+    /// intensity attached).
+    pub fn for_loop(kernel_name: impl Into<String>, trip_count: u64) -> Self {
         Self {
             kernel_name: kernel_name.into(),
             loop_label: "loop".into(),
             trip_count,
             elem_bytes: 8,
+            intensity: None,
         }
+    }
+
+    /// Options with defaults for everything but the name and trip count.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use CompileOptions::for_kernel(&spec) or CompileOptions::for_loop(name, trip)"
+    )]
+    pub fn new(kernel_name: impl Into<String>, trip_count: u64) -> Self {
+        Self::for_loop(kernel_name, trip_count)
     }
 
     /// Override the loop label.
     pub fn with_loop_label(mut self, label: impl Into<String>) -> Self {
         self.loop_label = label.into();
         self
+    }
+
+    /// Override the mapped element size (default 8, the paper's `REAL`).
+    pub fn with_elem_bytes(mut self, bytes: u64) -> Self {
+        self.elem_bytes = bytes;
+        self
+    }
+
+    /// The kernel intensity carried by [`CompileOptions::for_kernel`],
+    /// if any.
+    pub fn intensity(&self) -> Option<&KernelIntensity> {
+        self.intensity.as_ref()
     }
 }
 
@@ -63,6 +147,12 @@ pub enum CompileError {
         /// The evaluated length.
         value: i64,
     },
+    /// The directive handed to a `target data` entry point is not a
+    /// `target data` construct.
+    NotTargetData,
+    /// The directive handed to [`compile_update`] is not a
+    /// `target update` construct.
+    NotTargetUpdate,
 }
 
 impl From<EvalError> for CompileError {
@@ -86,11 +176,25 @@ impl std::fmt::Display for CompileError {
             CompileError::NegativeDim { array, value } => {
                 write!(f, "array `{array}` dimension evaluates to {value}")
             }
+            CompileError::NotTargetData => {
+                write!(f, "directive is not a `target data` construct")
+            }
+            CompileError::NotTargetUpdate => {
+                write!(f, "directive is not a `target update` construct")
+            }
         }
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Eval(e) => Some(e),
+            CompileError::Resolve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Lower one or more directives that jointly describe an offload region.
 ///
@@ -209,6 +313,49 @@ pub fn compile(
     Ok(region.build())
 }
 
+/// A lowered `#pragma omp target update` directive: which arrays to
+/// force-refresh on the devices (`to`) and which to copy back (`from`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UpdateSpec {
+    /// Arrays to re-upload host→device.
+    pub to: Vec<String>,
+    /// Arrays to copy back device→host.
+    pub from: Vec<String>,
+}
+
+/// Lower a `target update` directive. Array sections in the clauses are
+/// accepted but only the names matter — the data environment knows each
+/// array's resident span per device and moves exactly that.
+pub fn compile_update(directive: &Directive) -> Result<UpdateSpec, CompileError> {
+    if !directive.is_target_update() {
+        return Err(CompileError::NotTargetUpdate);
+    }
+    let name_of = |item: &MapItem| match item {
+        MapItem::Scalar(n) => n.clone(),
+        MapItem::Array { section, .. } => section.name.clone(),
+    };
+    Ok(UpdateSpec {
+        to: directive.update_to().map(name_of).collect(),
+        from: directive.update_from().map(name_of).collect(),
+    })
+}
+
+/// Lower a `target data` directive set into the region descriptor that
+/// opens a persistent data environment scope. Identical lowering to
+/// [`compile`], but the *first* directive must be a `target data`
+/// construct — the one whose maps define what becomes resident.
+pub fn compile_data_region(
+    directives: &[&Directive],
+    env: &Env,
+    device_types: &[&str],
+    opts: &CompileOptions,
+) -> Result<OffloadRegion, CompileError> {
+    if !directives.first().is_some_and(|d| d.is_target_data()) {
+        return Err(CompileError::NotTargetData);
+    }
+    compile(directives, env, device_types, opts)
+}
+
 /// Reduction clauses found in the directives (the runtime's kernels
 /// handle the arithmetic; this surfaces the declaration).
 pub fn reductions(directives: &[&Directive]) -> Vec<(homp_lang::ReductionOp, Vec<String>)> {
@@ -260,7 +407,7 @@ mod tests {
             &[&data, &lp],
             &env_n(1000),
             FULL,
-            &CompileOptions::new("axpy", 1000),
+            &CompileOptions::for_loop("axpy", 1000),
         )
         .unwrap();
         assert_eq!(region.devices.len(), 7);
@@ -293,7 +440,7 @@ mod tests {
             &[&data, &lp],
             &env_n(500),
             FULL,
-            &CompileOptions::new("axpy", 500),
+            &CompileOptions::for_loop("axpy", 500),
         )
         .unwrap();
         assert_eq!(region.loop_align, Some(("x".into(), 1)));
@@ -320,7 +467,7 @@ mod tests {
             &[&data, &lp],
             &env,
             FULL,
-            &CompileOptions::new("jacobi", 64).with_loop_label("loop1"),
+            &CompileOptions::for_loop("jacobi", 64).with_loop_label("loop1"),
         )
         .unwrap();
         assert_eq!(region.arrays.len(), 3);
@@ -341,7 +488,7 @@ mod tests {
         )
         .unwrap();
         let region =
-            compile(&[&d], &env_n(100), FULL, &CompileOptions::new("k", 100)).unwrap();
+            compile(&[&d], &env_n(100), FULL, &CompileOptions::for_loop("k", 100)).unwrap();
         assert_eq!(region.devices, vec![1, 2, 3, 4]);
     }
 
@@ -354,7 +501,7 @@ mod tests {
         )
         .unwrap();
         let region =
-            compile(&[&d], &env_n(100), FULL, &CompileOptions::new("k", 100)).unwrap();
+            compile(&[&d], &env_n(100), FULL, &CompileOptions::for_loop("k", 100)).unwrap();
         assert_eq!(region.algorithm, Algorithm::Model2 { cutoff: Some(0.15) });
     }
 
@@ -362,7 +509,7 @@ mod tests {
     fn missing_device_clause_is_error() {
         let d = parse_directive("#pragma omp parallel for map(to: x[0:n])").unwrap();
         assert_eq!(
-            compile(&[&d], &env_n(10), FULL, &CompileOptions::new("k", 10)).unwrap_err(),
+            compile(&[&d], &env_n(10), FULL, &CompileOptions::for_loop("k", 10)).unwrap_err(),
             CompileError::NoDeviceClause
         );
     }
@@ -373,7 +520,7 @@ mod tests {
             "#pragma omp target device(*) map(to: x[0:missing])",
         )
         .unwrap();
-        match compile(&[&d], &Env::new(), FULL, &CompileOptions::new("k", 10)) {
+        match compile(&[&d], &Env::new(), FULL, &CompileOptions::for_loop("k", 10)) {
             Err(CompileError::Eval(EvalError::Unbound(v))) => assert_eq!(v, "missing"),
             other => panic!("{other:?}"),
         }
@@ -382,7 +529,7 @@ mod tests {
     #[test]
     fn negative_dim_is_error() {
         let d = parse_directive("#pragma omp target device(*) map(to: x[0:n-50])").unwrap();
-        match compile(&[&d], &env_n(10), FULL, &CompileOptions::new("k", 10)) {
+        match compile(&[&d], &env_n(10), FULL, &CompileOptions::for_loop("k", 10)) {
             Err(CompileError::NegativeDim { array, value }) => {
                 assert_eq!(array, "x");
                 assert_eq!(value, -40);
@@ -401,7 +548,7 @@ mod tests {
         )
         .unwrap();
         let region =
-            compile(&[&d], &env_n(100), FULL, &CompileOptions::new("k", 100)).unwrap();
+            compile(&[&d], &env_n(100), FULL, &CompileOptions::for_loop("k", 100)).unwrap();
         assert_eq!(region.team_sched, homp_sim::TeamSched::Dynamic);
         assert_eq!(region.algorithm, Algorithm::Block);
     }
@@ -414,8 +561,86 @@ mod tests {
         )
         .unwrap();
         let region =
-            compile(&[&d], &env_n(100), FULL, &CompileOptions::new("k", 100)).unwrap();
+            compile(&[&d], &env_n(100), FULL, &CompileOptions::for_loop("k", 100)).unwrap();
         assert_eq!(region.team_sched, homp_sim::TeamSched::Block);
+    }
+
+    #[test]
+    fn for_kernel_carries_intensity() {
+        let spec = KernelInfo::new(
+            "axpy",
+            1_000,
+            KernelIntensity {
+                flops_per_iter: 2.0,
+                mem_elems_per_iter: 3.0,
+                data_elems_per_iter: 3.0,
+                elem_bytes: 8.0,
+            },
+        );
+        let opts = CompileOptions::for_kernel(&spec);
+        assert_eq!(opts.kernel_name, "axpy");
+        assert_eq!(opts.trip_count, 1_000);
+        assert_eq!(opts.intensity().unwrap().flops_per_iter, 2.0);
+        // Anonymous loops carry no intensity.
+        assert!(CompileOptions::for_loop("k", 10).intensity().is_none());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_still_lowers() {
+        let d = parse_directive(
+            "#pragma omp target device(*) map(to: x[0:n] partition([ALIGN(loop)]))",
+        )
+        .unwrap();
+        let region =
+            compile(&[&d], &env_n(100), FULL, &CompileOptions::new("k", 100)).unwrap();
+        assert_eq!(region.trip_count, 100);
+    }
+
+    #[test]
+    fn lowers_target_update() {
+        let d = parse_directive(
+            "#pragma omp target update to(f[0:n], coeffs) from(u[0:n])",
+        )
+        .unwrap();
+        let spec = compile_update(&d).unwrap();
+        assert_eq!(spec.to, vec!["f".to_string(), "coeffs".to_string()]);
+        assert_eq!(spec.from, vec!["u".to_string()]);
+
+        let not_update = parse_directive("#pragma omp parallel for").unwrap();
+        assert_eq!(compile_update(&not_update), Err(CompileError::NotTargetUpdate));
+    }
+
+    #[test]
+    fn data_region_requires_target_data() {
+        let data = parse_directive(
+            "#pragma omp parallel target data device(*) \
+             map(tofrom: u[0:n] partition([ALIGN(loop)]))",
+        )
+        .unwrap();
+        let region = compile_data_region(
+            &[&data],
+            &env_n(100),
+            FULL,
+            &CompileOptions::for_loop("region", 100),
+        )
+        .unwrap();
+        assert_eq!(region.arrays.len(), 1);
+
+        let plain = parse_directive(
+            "#pragma omp target device(*) map(to: x[0:n] partition([ALIGN(loop)]))",
+        )
+        .unwrap();
+        assert_eq!(
+            compile_data_region(
+                &[&plain],
+                &env_n(100),
+                FULL,
+                &CompileOptions::for_loop("region", 100)
+            )
+            .unwrap_err(),
+            CompileError::NotTargetData
+        );
     }
 
     #[test]
@@ -427,7 +652,7 @@ mod tests {
         )
         .unwrap();
         let region =
-            compile(&[&d], &env_n(100), FULL, &CompileOptions::new("k", 100)).unwrap();
+            compile(&[&d], &env_n(100), FULL, &CompileOptions::for_loop("k", 100)).unwrap();
         assert!(!region.parallel_offload);
     }
 }

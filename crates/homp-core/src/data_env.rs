@@ -1,0 +1,715 @@
+//! Persistent device-data environment — the `target data` mechanism.
+//!
+//! The paper's runtime (§V-C) maps arrays per offload: an iterative
+//! application like Fig. 3's Jacobi pays the full H2D/D2H cost every
+//! sweep even though the operands are already sitting in device memory.
+//! OpenMP solves this with structured `target data` regions and explicit
+//! `target update` motion; this module is that mechanism for HOMP.
+//!
+//! A [`DataEnv`] is a reference-counted residency table keyed by array
+//! symbol, carried by the runtime *between* offloads. Each entry records
+//! which span of the array every device currently holds:
+//!
+//! * **transfer elision** — when an offload maps an array that is
+//!   already resident with a compatible partition, the bytes are elided
+//!   (counted in [`TransferStats`], never moved);
+//! * **minimal redistribution** — when the split changes between
+//!   offloads (e.g. BLOCK → MODEL_1), only the rows a device *gains*
+//!   are transferred, priced by interval overlap with its previous
+//!   ownership;
+//! * **dirty tracking** — `tofrom`/`from` maps inside a region defer
+//!   their copy-back: the entry is marked dirty and flushed once, at
+//!   region close or at an explicit `target update from`;
+//! * **persistent allocation** — entries hold [`MemorySpace`]
+//!   allocations that outlive individual offloads and are released at
+//!   region close (OOM surfaces before any engine operation runs).
+//!
+//! Chunk-scheduled offloads (`SCHED_DYNAMIC` / `SCHED_GUIDED` and the
+//! profiling algorithms' stage 2) stream loop-aligned data per chunk
+//! with no stable per-device ownership, so inside a region they elide
+//! only the *fixed* mappings (replicated / independently distributed
+//! arrays and scalar broadcasts) and invalidate any aligned residency
+//! they touch — a conservative, documented semantic.
+//!
+//! Everything here is bookkeeping over byte counts: decisions are made
+//! before engine operations are issued, so the simulation stays
+//! deterministic (all tables are ordered maps — iteration order never
+//! depends on hash seeds).
+
+use crate::map::{ArrayCostKind, DataPlan};
+use crate::offload::OffloadRegion;
+use crate::runtime::OffloadError;
+use homp_sim::{AllocId, DeviceId, MemorySpace, TransferStats};
+use std::collections::BTreeMap;
+
+/// A half-open span of resident data on one device: row units for
+/// loop-aligned arrays, byte units (start 0) otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Owned {
+    start: u64,
+    len: u64,
+}
+
+impl Owned {
+    fn overlap(&self, other: Owned) -> u64 {
+        let lo = self.start.max(other.start);
+        let hi = (self.start + self.len).min(other.start + other.len);
+        hi.saturating_sub(lo)
+    }
+}
+
+/// Residency record for one mapped array.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Nested `target data` regions declaring this array.
+    refcount: u32,
+    /// Whether the declaring region copies the array back at close
+    /// (`from` / `tofrom` in the region's map clause).
+    copies_out: bool,
+    /// Written on-device since the last copy-back.
+    dirty: bool,
+    /// `Some(bytes_per_row)` when residency is tracked in row units
+    /// (loop-aligned); `None` for byte-unit (replicated/independent)
+    /// residency. A unit switch between offloads invalidates residency.
+    row_bytes: Option<f64>,
+    /// Per-device resident span.
+    resident: BTreeMap<DeviceId, Owned>,
+    /// Per-device persistent allocation handle.
+    allocs: BTreeMap<DeviceId, AllocId>,
+}
+
+impl Entry {
+    fn resident_bytes(&self, dev: DeviceId) -> u64 {
+        let Some(o) = self.resident.get(&dev) else { return 0 };
+        match self.row_bytes {
+            Some(bpr) => (o.len as f64 * bpr).round() as u64,
+            None => o.len,
+        }
+    }
+}
+
+/// Per-slot transfer bytes for a static offload, residency-adjusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StaticTransfers {
+    /// H2D bytes per slot (fixed + aligned, after elision).
+    pub h2d: Vec<u64>,
+    /// D2H bytes per slot (deferred copy-backs already removed).
+    pub d2h: Vec<u64>,
+}
+
+/// Residency-adjusted *fixed* transfers for chunk/profile offloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FixedTransfers {
+    /// Fixed H2D bytes per slot (scalars + replicated + independent).
+    pub h2d: Vec<u64>,
+    /// Fixed D2H bytes per slot after dirty deferral.
+    pub d2h: Vec<u64>,
+}
+
+/// The persistent device-data environment. Owned by the runtime; one
+/// per simulated machine.
+#[derive(Debug, Default)]
+pub struct DataEnv {
+    entries: BTreeMap<String, Entry>,
+    /// Array names declared by each open region, innermost last.
+    open_stack: Vec<Vec<String>>,
+    /// Offload region names whose scalar broadcast already happened
+    /// inside the current outermost region.
+    scalars_sent: std::collections::BTreeSet<String>,
+    stats: TransferStats,
+}
+
+impl DataEnv {
+    /// Whether any `target data` region is open.
+    pub fn active(&self) -> bool {
+        !self.open_stack.is_empty()
+    }
+
+    /// Depth of region nesting.
+    pub fn depth(&self) -> usize {
+        self.open_stack.len()
+    }
+
+    /// Cumulative transfer accounting since the environment was created.
+    pub fn stats(&self) -> &TransferStats {
+        &self.stats
+    }
+
+    /// Names currently registered (any open region).
+    pub fn mapped_arrays(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Whether `name` is mapped by an open region.
+    pub fn is_mapped(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Drop every entry, allocation handle and counter — used when the
+    /// runtime is rewound to a fresh seed.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.open_stack.clear();
+        self.scalars_sent.clear();
+        self.stats = TransferStats::default();
+    }
+
+    /// Open a data region: register (or re-reference) every array the
+    /// region maps. Transfers are lazy — nothing moves until the first
+    /// offload materializes a split — so opening costs nothing on the
+    /// virtual clock.
+    pub fn open(&mut self, region: &OffloadRegion) {
+        let mut names = Vec::with_capacity(region.arrays.len());
+        for a in &region.arrays {
+            let e = self.entries.entry(a.name.clone()).or_insert_with(|| Entry {
+                refcount: 0,
+                copies_out: false,
+                dirty: false,
+                row_bytes: None,
+                resident: BTreeMap::new(),
+                allocs: BTreeMap::new(),
+            });
+            e.refcount += 1;
+            e.copies_out |= a.copies_out();
+            names.push(a.name.clone());
+        }
+        self.open_stack.push(names);
+    }
+
+    /// Close the innermost region. Returns the dirty copy-backs the
+    /// caller must simulate, `(device, bytes)` in deterministic order,
+    /// and releases the region's allocations from `mem`.
+    ///
+    /// Errs with [`OffloadError::NoOpenDataRegion`] when nothing is
+    /// open.
+    pub fn close(
+        &mut self,
+        mem: &mut [MemorySpace],
+    ) -> Result<Vec<(DeviceId, u64)>, OffloadError> {
+        let names = self.open_stack.pop().ok_or(OffloadError::NoOpenDataRegion)?;
+        let mut flush = Vec::new();
+        for name in names {
+            let Some(e) = self.entries.get_mut(&name) else { continue };
+            e.refcount -= 1;
+            if e.refcount > 0 {
+                continue;
+            }
+            if e.dirty && e.copies_out {
+                for &dev in e.resident.keys() {
+                    let b = e.resident_bytes(dev);
+                    if b > 0 {
+                        flush.push((dev, b));
+                        self.stats.d2h_bytes += b;
+                    }
+                }
+            }
+            for (&dev, &id) in &e.allocs {
+                if let Some(space) = mem.get_mut(dev as usize) {
+                    let _ = space.free(id);
+                }
+            }
+            self.entries.remove(&name);
+        }
+        if self.open_stack.is_empty() {
+            self.scalars_sent.clear();
+        }
+        flush.sort();
+        Ok(flush)
+    }
+
+    /// Forced host→device refresh (`target update to`): re-upload every
+    /// named array's resident span. Returns `(device, bytes)` transfers.
+    pub fn update_to(&mut self, names: &[&str]) -> Result<Vec<(DeviceId, u64)>, OffloadError> {
+        if !self.active() {
+            return Err(OffloadError::NoOpenDataRegion);
+        }
+        let mut out = Vec::new();
+        for &name in names {
+            let e = self
+                .entries
+                .get_mut(name)
+                .ok_or_else(|| OffloadError::UnmappedArray(name.to_string()))?;
+            for &dev in e.resident.keys() {
+                let b = e.resident_bytes(dev);
+                if b > 0 {
+                    out.push((dev, b));
+                    self.stats.h2d_bytes += b;
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Forced device→host copy-back (`target update from`): transfer
+    /// every named array's resident span and clear its dirty bit.
+    pub fn update_from(&mut self, names: &[&str]) -> Result<Vec<(DeviceId, u64)>, OffloadError> {
+        if !self.active() {
+            return Err(OffloadError::NoOpenDataRegion);
+        }
+        let mut out = Vec::new();
+        for &name in names {
+            let e = self
+                .entries
+                .get_mut(name)
+                .ok_or_else(|| OffloadError::UnmappedArray(name.to_string()))?;
+            for &dev in e.resident.keys() {
+                let b = e.resident_bytes(dev);
+                if b > 0 {
+                    out.push((dev, b));
+                    self.stats.d2h_bytes += b;
+                }
+            }
+            e.dirty = false;
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Residency-adjusted per-slot transfer bytes for a *static* offload
+    /// assigning `counts[s]` contiguous iterations to `slots[s]` (in
+    /// slot order). Returns `None` when no open region covers any of the
+    /// offload's arrays — the caller then uses the plain plan numbers,
+    /// keeping region-free offloads byte-identical to the old runtime.
+    ///
+    /// Side effects: residency tables and [`TransferStats`] advance, and
+    /// device allocations are created/resized in `mem` (an allocation
+    /// failure surfaces as [`OffloadError::OutOfDeviceMemory`] before
+    /// any engine operation runs).
+    pub(crate) fn plan_static(
+        &mut self,
+        region: &OffloadRegion,
+        plan: &DataPlan,
+        counts: &[u64],
+        slots: &[DeviceId],
+        mem: &mut [MemorySpace],
+    ) -> Result<Option<StaticTransfers>, OffloadError> {
+        if !self.covers(plan) {
+            return Ok(None);
+        }
+        let n = slots.len();
+        let mut h2d = vec![0u64; n];
+        let mut d2h = vec![0u64; n];
+        self.charge_scalars(region, plan, &mut h2d);
+
+        // Iteration offsets: static plans hand out contiguous ranges in
+        // slot order.
+        let mut offsets = Vec::with_capacity(n);
+        let mut acc = 0u64;
+        for &c in counts {
+            offsets.push(acc);
+            acc += c;
+        }
+
+        for cost in plan.per_array() {
+            let registered = self.entries.contains_key(&cost.name);
+            if !registered {
+                // Not under any region: plain per-offload mapping.
+                for s in 0..n {
+                    h2d[s] += want_in_bytes(cost, s, counts[s]);
+                    d2h[s] += want_out_bytes(cost, s, counts[s]);
+                }
+                continue;
+            }
+            let e = self.entries.get_mut(&cost.name).expect("checked above");
+            let was_resident = !e.resident.is_empty();
+            match &cost.kind {
+                ArrayCostKind::LoopAligned { bytes_per_iter } => {
+                    // Unit switch (previously tracked in bytes)
+                    // invalidates all residency for this array.
+                    if was_resident && e.row_bytes.is_none() {
+                        e.resident.clear();
+                    }
+                    e.row_bytes = Some(*bytes_per_iter);
+                    for s in 0..n {
+                        if counts[s] == 0 {
+                            continue;
+                        }
+                        let dev = slots[s];
+                        let want = Owned { start: offsets[s], len: counts[s] };
+                        let owned = e.resident.get(&dev).copied();
+                        let keep = owned.map(|o| o.overlap(want)).unwrap_or(0);
+                        let miss = want.len - keep;
+                        if cost.copies_in {
+                            let kept_b = (keep as f64 * bytes_per_iter).round() as u64;
+                            let miss_b = (miss as f64 * bytes_per_iter).round() as u64;
+                            self.stats.h2d_elided_bytes += kept_b;
+                            self.stats.h2d_bytes += miss_b;
+                            if was_resident && keep > 0 && miss > 0 {
+                                // Split change: only the delta moved.
+                                self.stats.redistributed_bytes += miss_b;
+                            }
+                            h2d[s] += miss_b;
+                        }
+                        if cost.copies_out {
+                            // Deferred to region close / `update from`.
+                            let b = (want.len as f64 * bytes_per_iter).round() as u64;
+                            self.stats.d2h_elided_bytes += b;
+                            e.dirty = true;
+                        }
+                        e.resident.insert(dev, want);
+                        let footprint = (want.len as f64 * bytes_per_iter).round() as u64;
+                        ensure_alloc(e, dev, footprint, mem)?;
+                    }
+                }
+                ArrayCostKind::Replicated | ArrayCostKind::Independent { .. } => {
+                    if was_resident && e.row_bytes.is_some() {
+                        e.resident.clear();
+                        e.row_bytes = None;
+                    }
+                    for s in 0..n {
+                        let dev = slots[s];
+                        let want = match &cost.kind {
+                            ArrayCostKind::Replicated => cost.total_bytes,
+                            ArrayCostKind::Independent { per_slot } => per_slot[s],
+                            ArrayCostKind::LoopAligned { .. } => unreachable!(),
+                        };
+                        if want == 0 {
+                            continue;
+                        }
+                        let owned = e.resident.get(&dev).map(|o| o.len).unwrap_or(0);
+                        if cost.copies_in {
+                            if owned >= want {
+                                self.stats.h2d_elided_bytes += want;
+                            } else {
+                                let miss = want - owned;
+                                self.stats.h2d_elided_bytes += owned;
+                                self.stats.h2d_bytes += miss;
+                                if owned > 0 {
+                                    self.stats.redistributed_bytes += miss;
+                                }
+                                h2d[s] += miss;
+                            }
+                        }
+                        if cost.copies_out {
+                            self.stats.d2h_elided_bytes += want;
+                            e.dirty = true;
+                        }
+                        e.resident.insert(dev, Owned { start: 0, len: owned.max(want) });
+                        ensure_alloc(e, dev, owned.max(want), mem)?;
+                    }
+                }
+            }
+        }
+        Ok(Some(StaticTransfers { h2d, d2h }))
+    }
+
+    /// Residency-adjusted *fixed* transfers for chunk/profile offloads.
+    /// Aligned arrays stream per chunk with no stable ownership, so any
+    /// aligned residency the offload touches is invalidated; replicated
+    /// and independent mappings elide as usual, and fixed copy-backs are
+    /// deferred via the dirty bit. `None` when no open region covers the
+    /// offload.
+    pub(crate) fn plan_fixed(
+        &mut self,
+        region: &OffloadRegion,
+        plan: &DataPlan,
+        slots: &[DeviceId],
+        mem: &mut [MemorySpace],
+    ) -> Result<Option<FixedTransfers>, OffloadError> {
+        if !self.covers(plan) {
+            return Ok(None);
+        }
+        let n = slots.len();
+        let mut h2d = vec![0u64; n];
+        let mut d2h = vec![0u64; n];
+        self.charge_scalars(region, plan, &mut h2d);
+        for cost in plan.per_array() {
+            let registered = self.entries.contains_key(&cost.name);
+            match &cost.kind {
+                ArrayCostKind::LoopAligned { .. } => {
+                    // Streamed per chunk; the per-chunk transfers are the
+                    // caller's business. Stale ownership would otherwise
+                    // claim rows this offload scatters arbitrarily.
+                    if registered {
+                        let e = self.entries.get_mut(&cost.name).expect("checked");
+                        e.resident.clear();
+                        if cost.copies_out {
+                            e.dirty = false; // chunk-out already drained it
+                        }
+                    }
+                }
+                ArrayCostKind::Replicated | ArrayCostKind::Independent { .. } => {
+                    for s in 0..n {
+                        let want = match &cost.kind {
+                            ArrayCostKind::Replicated => cost.total_bytes,
+                            ArrayCostKind::Independent { per_slot } => per_slot[s],
+                            ArrayCostKind::LoopAligned { .. } => unreachable!(),
+                        };
+                        if want == 0 {
+                            continue;
+                        }
+                        if !registered {
+                            if cost.copies_in {
+                                h2d[s] += want;
+                            }
+                            if cost.copies_out {
+                                d2h[s] += want;
+                            }
+                            continue;
+                        }
+                        let dev = slots[s];
+                        let e = self.entries.get_mut(&cost.name).expect("checked");
+                        let owned = e.resident.get(&dev).map(|o| o.len).unwrap_or(0);
+                        if cost.copies_in {
+                            if owned >= want {
+                                self.stats.h2d_elided_bytes += want;
+                            } else {
+                                let miss = want - owned;
+                                self.stats.h2d_elided_bytes += owned;
+                                self.stats.h2d_bytes += miss;
+                                h2d[s] += miss;
+                            }
+                        }
+                        if cost.copies_out {
+                            self.stats.d2h_elided_bytes += want;
+                            e.dirty = true;
+                        }
+                        e.resident.insert(dev, Owned { start: 0, len: owned.max(want) });
+                        e.row_bytes = None;
+                        ensure_alloc(e, dev, owned.max(want), mem)?;
+                    }
+                }
+            }
+        }
+        Ok(Some(FixedTransfers { h2d, d2h }))
+    }
+
+    /// Whether an open region registers at least one of the plan's
+    /// arrays.
+    fn covers(&self, plan: &DataPlan) -> bool {
+        self.active() && plan.per_array().iter().any(|c| self.entries.contains_key(&c.name))
+    }
+
+    /// Scalar broadcast: charged once per offload region name while a
+    /// data region is open, elided on repeats (the loop bounds and
+    /// coefficients of an iterative sweep do not change between
+    /// offloads).
+    fn charge_scalars(&mut self, region: &OffloadRegion, plan: &DataPlan, h2d: &mut [u64]) {
+        let b = plan.scalar_bytes();
+        if b == 0 {
+            return;
+        }
+        if self.scalars_sent.contains(&region.name) {
+            self.stats.h2d_elided_bytes += b * h2d.len() as u64;
+        } else {
+            for v in h2d.iter_mut() {
+                *v += b;
+            }
+            self.stats.h2d_bytes += b * h2d.len() as u64;
+            self.scalars_sent.insert(region.name.clone());
+        }
+    }
+}
+
+/// H2D bytes array `cost` wants on slot `s` under a static split.
+fn want_in_bytes(cost: &crate::map::ArrayCost, s: usize, count: u64) -> u64 {
+    if !cost.copies_in {
+        return 0;
+    }
+    match &cost.kind {
+        ArrayCostKind::Replicated => cost.total_bytes,
+        ArrayCostKind::LoopAligned { bytes_per_iter } => {
+            (count as f64 * bytes_per_iter).round() as u64
+        }
+        ArrayCostKind::Independent { per_slot } => per_slot[s],
+    }
+}
+
+/// D2H bytes array `cost` wants on slot `s` under a static split.
+fn want_out_bytes(cost: &crate::map::ArrayCost, s: usize, count: u64) -> u64 {
+    if !cost.copies_out {
+        return 0;
+    }
+    match &cost.kind {
+        ArrayCostKind::Replicated => cost.total_bytes,
+        ArrayCostKind::LoopAligned { bytes_per_iter } => {
+            (count as f64 * bytes_per_iter).round() as u64
+        }
+        ArrayCostKind::Independent { per_slot } => per_slot[s],
+    }
+}
+
+/// Create or resize the entry's persistent allocation on `dev`.
+fn ensure_alloc(
+    e: &mut Entry,
+    dev: DeviceId,
+    bytes: u64,
+    mem: &mut [MemorySpace],
+) -> Result<(), OffloadError> {
+    let Some(space) = mem.get_mut(dev as usize) else { return Ok(()) };
+    let oom = |space: &MemorySpace| OffloadError::OutOfDeviceMemory {
+        device: dev,
+        required: bytes,
+        capacity: space.capacity(),
+    };
+    match e.allocs.get(&dev) {
+        Some(&id) => space.realloc(id, bytes).map_err(|_| oom(space)),
+        None => {
+            let id = space.alloc(bytes).map_err(|_| oom(space))?;
+            e.allocs.insert(dev, id);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Algorithm;
+    use homp_lang::{DistPolicy, MapDir};
+
+    fn region(n: u64) -> OffloadRegion {
+        OffloadRegion::builder("axpy")
+            .trip_count(n)
+            .devices(vec![0, 1])
+            .algorithm(Algorithm::Block)
+            .map_1d("x", MapDir::To, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+            .map_1d(
+                "y",
+                MapDir::ToFrom,
+                n,
+                8,
+                DistPolicy::Align { target: "loop".into(), ratio: 1 },
+            )
+            .scalars(16)
+            .build()
+    }
+
+    fn spaces() -> Vec<MemorySpace> {
+        vec![MemorySpace::new(1 << 30), MemorySpace::new(1 << 30)]
+    }
+
+    #[test]
+    fn inactive_env_stays_out_of_the_way() {
+        let r = region(100);
+        let plan = DataPlan::new(&r, 2).unwrap();
+        let mut env = DataEnv::default();
+        let mut mem = spaces();
+        let out = env.plan_static(&r, &plan, &[50, 50], &[0, 1], &mut mem).unwrap();
+        assert!(out.is_none());
+        assert_eq!(env.stats(), &TransferStats::default());
+    }
+
+    #[test]
+    fn first_offload_charges_plan_bytes_then_elides() {
+        let r = region(100);
+        let plan = DataPlan::new(&r, 2).unwrap();
+        let mut env = DataEnv::default();
+        let mut mem = spaces();
+        env.open(&r);
+        let first =
+            env.plan_static(&r, &plan, &[50, 50], &[0, 1], &mut mem).unwrap().unwrap();
+        // Cold region: H2D equals the plain plan minus nothing; D2H is
+        // fully deferred.
+        for s in 0..2 {
+            assert_eq!(first.h2d[s], plan.h2d_bytes(s, 50));
+            assert_eq!(first.d2h[s], 0);
+        }
+        // Allocations persist between offloads.
+        assert!(mem[0].in_use() > 0);
+        let warm =
+            env.plan_static(&r, &plan, &[50, 50], &[0, 1], &mut mem).unwrap().unwrap();
+        assert_eq!(warm.h2d, vec![0, 0], "everything resident → fully elided");
+        assert_eq!(warm.d2h, vec![0, 0]);
+        let stats = *env.stats();
+        assert_eq!(stats.h2d_elided_bytes, plan.h2d_bytes(0, 50) + plan.h2d_bytes(1, 50));
+        assert_eq!(stats.redistributed_bytes, 0);
+        // Closing flushes dirty y (tofrom) once: 50 rows × 8 B per slot.
+        let flush = env.close(&mut mem).unwrap();
+        assert_eq!(flush, vec![(0, 400), (1, 400)]);
+        assert_eq!(mem[0].in_use(), 0, "close releases the region's allocations");
+    }
+
+    #[test]
+    fn repartition_moves_only_the_delta() {
+        let r = region(100);
+        let plan = DataPlan::new(&r, 2).unwrap();
+        let mut env = DataEnv::default();
+        let mut mem = spaces();
+        env.open(&r);
+        env.plan_static(&r, &plan, &[50, 50], &[0, 1], &mut mem).unwrap().unwrap();
+        // Split shifts 50/50 → 70/30: device 0 gains rows [50,70), device
+        // 1 keeps [70,100) of its old [50,100).
+        let re = env.plan_static(&r, &plan, &[70, 30], &[0, 1], &mut mem).unwrap().unwrap();
+        // x (to) + y (tofrom): 16 B/row inbound. Device 0 gains 20 rows.
+        assert_eq!(re.h2d, vec![20 * 16, 0]);
+        assert_eq!(env.stats().redistributed_bytes, 20 * 16);
+        // Allocation resized, not leaked.
+        assert_eq!(mem[0].live_allocations(), 2);
+    }
+
+    #[test]
+    fn update_to_and_from_move_resident_spans() {
+        let r = region(100);
+        let plan = DataPlan::new(&r, 2).unwrap();
+        let mut env = DataEnv::default();
+        let mut mem = spaces();
+        env.open(&r);
+        env.plan_static(&r, &plan, &[50, 50], &[0, 1], &mut mem).unwrap().unwrap();
+        let up = env.update_to(&["x"]).unwrap();
+        assert_eq!(up, vec![(0, 400), (1, 400)]);
+        let down = env.update_from(&["y"]).unwrap();
+        assert_eq!(down, vec![(0, 400), (1, 400)]);
+        // `update from` cleaned the dirty bit: nothing flushes at close
+        // until another offload writes y again.
+        let flush = env.close(&mut mem).unwrap();
+        assert!(flush.is_empty());
+        assert!(matches!(
+            env.update_to(&["x"]),
+            Err(OffloadError::NoOpenDataRegion)
+        ));
+    }
+
+    #[test]
+    fn unknown_array_in_update_is_an_error() {
+        let r = region(10);
+        let mut env = DataEnv::default();
+        env.open(&r);
+        assert!(matches!(
+            env.update_to(&["nope"]),
+            Err(OffloadError::UnmappedArray(n)) if n == "nope"
+        ));
+    }
+
+    #[test]
+    fn alloc_failure_surfaces_as_oom() {
+        let r = region(100);
+        let plan = DataPlan::new(&r, 2).unwrap();
+        let mut env = DataEnv::default();
+        // Device 0 can hold barely anything.
+        let mut mem = vec![MemorySpace::new(64), MemorySpace::new(1 << 30)];
+        env.open(&r);
+        let err = env.plan_static(&r, &plan, &[50, 50], &[0, 1], &mut mem).unwrap_err();
+        assert!(matches!(err, OffloadError::OutOfDeviceMemory { device: 0, .. }));
+    }
+
+    #[test]
+    fn chunked_fixed_mappings_elide_but_aligned_streams() {
+        let n = 100u64;
+        let r = OffloadRegion::builder("mv")
+            .trip_count(n)
+            .devices(vec![0, 1])
+            .map_1d("c", MapDir::To, 64, 8, DistPolicy::Full)
+            .map_1d(
+                "y",
+                MapDir::ToFrom,
+                n,
+                8,
+                DistPolicy::Align { target: "loop".into(), ratio: 1 },
+            )
+            .build();
+        let plan = DataPlan::new(&r, 2).unwrap();
+        let mut env = DataEnv::default();
+        let mut mem = spaces();
+        env.open(&r);
+        let cold = env.plan_fixed(&r, &plan, &[0, 1], &mut mem).unwrap().unwrap();
+        assert_eq!(cold.h2d, vec![512, 512], "replicated c moves once per device");
+        let warm = env.plan_fixed(&r, &plan, &[0, 1], &mut mem).unwrap().unwrap();
+        assert_eq!(warm.h2d, vec![0, 0], "c resident → elided");
+        // y streamed per chunk: no ownership recorded.
+        let static_after =
+            env.plan_static(&r, &plan, &[50, 50], &[0, 1], &mut mem).unwrap().unwrap();
+        assert_eq!(static_after.h2d, vec![400, 400], "y must be re-uploaded");
+    }
+}

@@ -30,6 +30,7 @@
 pub mod align;
 pub mod api;
 pub mod compile;
+pub mod data_env;
 #[allow(unsafe_code)]
 pub mod disjoint;
 pub mod dist;
@@ -44,8 +45,12 @@ pub mod report;
 pub mod runtime;
 pub mod sched;
 
-pub use api::{Homp, HompError};
-pub use compile::{compile, CompileError, CompileOptions};
+pub use api::{DataRegion, Homp, HompError};
+pub use compile::{
+    compile, compile_data_region, compile_update, CompileError, CompileOptions, KernelDescriptor,
+    KernelInfo, UpdateSpec,
+};
+pub use data_env::DataEnv;
 pub use dist::{ArrayDist, Distribution};
 pub use history::{AffineFit, HistoryDb};
 pub use map::{DataPlan, PlanError};
@@ -53,7 +58,7 @@ pub use offload::{ArrayMap, OffloadRegion, OffloadRegionBuilder};
 pub use region::Range;
 pub use report::{ChunkDecision, PredictionSource, PredictionStats, RunReport};
 pub use runtime::{
-    FaultConfig, FaultSummary, FnKernel, LoopKernel, OffloadError, OffloadReport, RetryPolicy,
-    Runtime,
+    DataRegionReport, FaultConfig, FaultSummary, FnKernel, LoopKernel, OffloadError,
+    OffloadReport, RetryPolicy, Runtime, RuntimeConfig, UpdateReport,
 };
 pub use sched::Algorithm;

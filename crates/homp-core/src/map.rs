@@ -80,6 +80,42 @@ pub struct HaloPlan {
     pub slab_bytes: u64,
 }
 
+/// How one mapped array's bytes attach to devices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayCostKind {
+    /// Whole array on every device (all dimensions FULL).
+    Replicated,
+    /// Bytes scale with the owning device's iteration count (the array's
+    /// distributed dimension resolves to the loop's alignment root).
+    LoopAligned {
+        /// Bytes per loop iteration.
+        bytes_per_iter: f64,
+    },
+    /// Fixed per-slot bytes from the array's own distribution.
+    Independent {
+        /// Bytes per slot, in slot order.
+        per_slot: Vec<u64>,
+    },
+}
+
+/// Per-array byte attribution — what [`DataPlan`]'s aggregate counters
+/// are made of, retained so a residency-aware runtime (the `target
+/// data` environment) can elide or redistribute transfers array by
+/// array instead of all-or-nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayCost {
+    /// Array name (the residency key).
+    pub name: String,
+    /// How bytes attach to devices.
+    pub kind: ArrayCostKind,
+    /// Whether the map copies host→device (`to` / `tofrom`).
+    pub copies_in: bool,
+    /// Whether the map copies device→host (`from` / `tofrom`).
+    pub copies_out: bool,
+    /// Whole-array bytes.
+    pub total_bytes: u64,
+}
+
 /// Byte-accounting plan for one offload region on `n_devices` devices.
 #[derive(Debug, Clone)]
 pub struct DataPlan {
@@ -91,6 +127,8 @@ pub struct DataPlan {
     d2h_per_iter: f64,
     alloc_per_iter: f64,
     halos: Vec<HaloPlan>,
+    scalar_bytes: u64,
+    per_array: Vec<ArrayCost>,
 }
 
 impl DataPlan {
@@ -138,6 +176,8 @@ impl DataPlan {
             d2h_per_iter: 0.0,
             alloc_per_iter: 0.0,
             halos: Vec::new(),
+            scalar_bytes: region.scalar_bytes,
+            per_array: Vec::new(),
         };
 
         for a in &region.arrays {
@@ -165,6 +205,13 @@ impl DataPlan {
                         }
                         plan.alloc_fixed[s] += b;
                     }
+                    plan.per_array.push(ArrayCost {
+                        name: a.name.clone(),
+                        kind: ArrayCostKind::Replicated,
+                        copies_in: a.copies_in(),
+                        copies_out: a.copies_out(),
+                        total_bytes: b,
+                    });
                 }
                 Some(d) => {
                     let (root, ratio, root_policy) = graph.resolve_root(&a.name)?;
@@ -188,6 +235,13 @@ impl DataPlan {
                             plan.d2h_per_iter += per_iter;
                         }
                         plan.alloc_per_iter += per_iter;
+                        plan.per_array.push(ArrayCost {
+                            name: a.name.clone(),
+                            kind: ArrayCostKind::LoopAligned { bytes_per_iter: per_iter },
+                            copies_in: a.copies_in(),
+                            copies_out: a.copies_out(),
+                            total_bytes: a.total_bytes(),
+                        });
                     } else {
                         // Independent root: concrete distribution now.
                         let dist = match root_policy {
@@ -200,6 +254,7 @@ impl DataPlan {
                             }
                         };
                         let slab = a.slab_bytes(d);
+                        let mut per_slot = Vec::with_capacity(n_devices);
                         for s in 0..n_devices {
                             let b = dist.range(s).len() * slab;
                             if a.copies_in() {
@@ -209,7 +264,15 @@ impl DataPlan {
                                 plan.d2h_fixed[s] += b;
                             }
                             plan.alloc_fixed[s] += b;
+                            per_slot.push(b);
                         }
+                        plan.per_array.push(ArrayCost {
+                            name: a.name.clone(),
+                            kind: ArrayCostKind::Independent { per_slot },
+                            copies_in: a.copies_in(),
+                            copies_out: a.copies_out(),
+                            total_bytes: a.total_bytes(),
+                        });
                     }
                 }
             }
@@ -274,6 +337,17 @@ impl DataPlan {
     /// Halo requirements (distributed-dimension ghost regions).
     pub fn halos(&self) -> &[HaloPlan] {
         &self.halos
+    }
+
+    /// Broadcast scalar bytes (part of every slot's fixed H2D/alloc).
+    pub fn scalar_bytes(&self) -> u64 {
+        self.scalar_bytes
+    }
+
+    /// Per-array attribution of the aggregate counters, in region map
+    /// order.
+    pub fn per_array(&self) -> &[ArrayCost] {
+        &self.per_array
     }
 }
 
@@ -444,6 +518,53 @@ mod tests {
             Err(PlanError::MultipleDistributedDims(a)) => assert_eq!(a, "u"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn per_array_attribution_sums_to_aggregates() {
+        let n = 1000u64;
+        let r = OffloadRegion::builder("mixed")
+            .trip_count(n)
+            .devices(vec![0, 1, 2, 3])
+            .map_1d("x", MapDir::To, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+            .map_1d(
+                "y",
+                MapDir::ToFrom,
+                n,
+                8,
+                DistPolicy::Align { target: "loop".into(), ratio: 1 },
+            )
+            .map_1d("c", MapDir::To, 64, 8, DistPolicy::Full)
+            .scalars(24)
+            .build();
+        let plan = DataPlan::new(&r, 4).unwrap();
+        assert_eq!(plan.scalar_bytes(), 24);
+        let costs = plan.per_array();
+        assert_eq!(costs.len(), 3);
+        // Rebuild slot 1's fixed H2D from parts: scalars + replicated c.
+        let mut fixed = plan.scalar_bytes();
+        let mut per_iter = 0.0;
+        for c in costs {
+            match &c.kind {
+                ArrayCostKind::Replicated => {
+                    if c.copies_in {
+                        fixed += c.total_bytes;
+                    }
+                }
+                ArrayCostKind::LoopAligned { bytes_per_iter } => {
+                    if c.copies_in {
+                        per_iter += bytes_per_iter;
+                    }
+                }
+                ArrayCostKind::Independent { per_slot } => {
+                    if c.copies_in {
+                        fixed += per_slot[1];
+                    }
+                }
+            }
+        }
+        assert_eq!(fixed, plan.h2d_fixed_bytes(1));
+        assert_eq!(per_iter, plan.h2d_per_iter());
     }
 
     #[test]

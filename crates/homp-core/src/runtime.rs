@@ -17,6 +17,7 @@
 //! to microbenchmark-measured constants for the `ablation_constants`
 //! study.
 
+use crate::data_env::DataEnv;
 use crate::map::{DataPlan, PlanError};
 use crate::offload::OffloadRegion;
 use crate::region::Range;
@@ -28,8 +29,8 @@ use crate::sched::{block, Algorithm};
 use homp_model::heuristics::{classify, select_algorithm, ClassThresholds};
 use homp_model::{DeviceParams, KernelIntensity};
 use homp_sim::{
-    profile_machine, ChunkWork, DeviceId, Dir, Engine, Fault, FaultPlan, Machine, NoiseModel,
-    SimSpan, SimTime, Trace,
+    profile_machine, ChunkWork, DeviceId, Dir, Engine, Fault, FaultPlan, Machine, MemorySpace,
+    NoiseModel, SimSpan, SimTime, Trace, TransferStats,
 };
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -82,6 +83,12 @@ fn chunk_work<'a>(
     }
 }
 
+/// One [`MemorySpace`] per device, sized to the device's capacity —
+/// the backing store for the persistent data environment.
+fn device_memories(machine: &Machine) -> Vec<MemorySpace> {
+    machine.devices.iter().map(|d| MemorySpace::new(d.mem_capacity)).collect()
+}
+
 /// Error from [`Runtime::offload`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum OffloadError {
@@ -105,6 +112,12 @@ pub enum OffloadError {
         /// Iterations that could not be executed.
         unexecuted: u64,
     },
+    /// A `target update` named an array no open `target data` region
+    /// maps.
+    UnmappedArray(String),
+    /// A data-region operation (`close`, `target update`) was issued
+    /// with no `target data` region open.
+    NoOpenDataRegion,
 }
 
 impl From<PlanError> for OffloadError {
@@ -126,11 +139,24 @@ impl std::fmt::Display for OffloadError {
                 f,
                 "all participating devices failed; {unexecuted} iterations unexecuted"
             ),
+            OffloadError::UnmappedArray(name) => {
+                write!(f, "array `{name}` is not mapped by any open target data region")
+            }
+            OffloadError::NoOpenDataRegion => {
+                write!(f, "no target data region is open")
+            }
         }
     }
 }
 
-impl std::error::Error for OffloadError {}
+impl std::error::Error for OffloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OffloadError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Capped exponential backoff for retrying transient faults (DMA
 /// errors, launch timeouts). Backoff time is priced on the virtual
@@ -272,6 +298,134 @@ pub struct Runtime {
     /// logged run is byte-identical to an unlogged one).
     log_decisions: bool,
     decisions: Vec<ChunkDecision>,
+    /// The persistent device-data environment (`target data`). Inactive
+    /// (and cost-free) until a region is opened.
+    data_env: DataEnv,
+    /// Per-device memory spaces backing the data environment's
+    /// persistent allocations, indexed by device ID.
+    mem: Vec<MemorySpace>,
+}
+
+/// What closing a `target data` region did: the deferred dirty
+/// copy-backs it flushed and the cumulative transfer accounting of the
+/// environment at close time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataRegionReport {
+    /// Bytes flushed device→host at close (dirty `from`/`tofrom`
+    /// entries whose copy-back had been deferred).
+    pub flushed_bytes: u64,
+    /// Individual flush transfers issued.
+    pub flush_transfers: u64,
+    /// Virtual duration of the flush.
+    pub makespan: SimSpan,
+    /// Cumulative environment accounting (all offloads since the
+    /// runtime was built or last reset).
+    pub stats: TransferStats,
+}
+
+/// What a `target update` moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Host→device bytes (`update to`).
+    pub h2d_bytes: u64,
+    /// Device→host bytes (`update from`).
+    pub d2h_bytes: u64,
+}
+
+/// Single construction funnel for every runtime knob: seed, noise
+/// amplitude, model constants, fault injection, decision logging and
+/// DMA/compute overlap. [`RuntimeConfig::build`] applies them in one
+/// place, so a freshly built runtime and one rewound with
+/// [`Runtime::reset_with_seed`] cannot drift apart in configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    seed: u64,
+    noise: Option<f64>,
+    profiled_params: bool,
+    faults: FaultConfig,
+    decision_log: bool,
+    overlap: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            noise: Some(Runtime::DEFAULT_NOISE),
+            profiled_params: false,
+            faults: FaultConfig::none(),
+            decision_log: false,
+            overlap: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Defaults: seed 42, ±6% noise, datasheet constants, no faults, no
+    /// decision log, DMA/compute overlap on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Noise seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Noise amplitude (fraction, e.g. `0.06` for ±6%).
+    pub fn noise(mut self, amplitude: f64) -> Self {
+        self.noise = Some(amplitude);
+        self
+    }
+
+    /// Disable noise entirely (exactness tests, ablations).
+    pub fn noiseless(mut self) -> Self {
+        self.noise = None;
+        self
+    }
+
+    /// Give the models microbenchmark-profiled machine constants instead
+    /// of datasheet ones.
+    pub fn profiled_params(mut self) -> Self {
+        self.profiled_params = true;
+        self
+    }
+
+    /// Install fault injection.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enable the per-chunk scheduler decision log.
+    pub fn decision_log(mut self, on: bool) -> Self {
+        self.decision_log = on;
+        self
+    }
+
+    /// Disable DMA/compute overlap (ablation).
+    pub fn no_overlap(mut self) -> Self {
+        self.overlap = false;
+        self
+    }
+
+    /// Build the runtime over `machine`.
+    pub fn build(&self, machine: Machine) -> Runtime {
+        let noise = match self.noise {
+            Some(a) => NoiseModel::new(self.seed, a),
+            None => NoiseModel::disabled(),
+        };
+        let mut rt = if self.profiled_params {
+            Runtime::with_profiled_noise(machine, noise)
+        } else {
+            Runtime::with_noise(machine, noise)
+        };
+        rt.set_fault_config(self.faults.clone());
+        rt.set_decision_log(self.decision_log);
+        rt.set_overlap(self.overlap);
+        rt
+    }
 }
 
 impl Runtime {
@@ -291,6 +445,7 @@ impl Runtime {
     /// is what makes CUTOFF earn its keep.
     pub fn with_noise(machine: Machine, noise: NoiseModel) -> Self {
         let params = machine.datasheet_params();
+        let mem = device_memories(&machine);
         let engine = Engine::new(machine, noise);
         Self {
             engine,
@@ -298,6 +453,8 @@ impl Runtime {
             faults: FaultConfig::none(),
             log_decisions: false,
             decisions: Vec::new(),
+            data_env: DataEnv::default(),
+            mem,
         }
     }
 
@@ -305,7 +462,14 @@ impl Runtime {
     /// instead of datasheet ones — the `ablation_constants` bench shows
     /// this largely removes the need for CUTOFF.
     pub fn with_profiled_params(machine: Machine, seed: u64) -> Self {
-        let engine = Engine::new(machine, NoiseModel::new(seed, Self::DEFAULT_NOISE));
+        Self::with_profiled_noise(machine, NoiseModel::new(seed, Self::DEFAULT_NOISE))
+    }
+
+    /// Profiled-constants runtime with an explicit noise model (the
+    /// [`RuntimeConfig`] entry point).
+    fn with_profiled_noise(machine: Machine, noise: NoiseModel) -> Self {
+        let mem = device_memories(&machine);
+        let engine = Engine::new(machine, noise);
         let params = profile_machine(&engine);
         Self {
             engine,
@@ -313,6 +477,8 @@ impl Runtime {
             faults: FaultConfig::none(),
             log_decisions: false,
             decisions: Vec::new(),
+            data_env: DataEnv::default(),
+            mem,
         }
     }
 
@@ -357,6 +523,8 @@ impl Runtime {
     pub fn reset_with_seed(&mut self, seed: u64) {
         self.engine.reset_with_seed(seed);
         self.decisions.clear();
+        self.data_env.clear();
+        self.mem = device_memories(self.engine.machine());
     }
 
     /// Enable (or disable) the scheduler decision log. When enabled,
@@ -466,6 +634,92 @@ impl Runtime {
             SimTime::ZERO,
         );
         end - SimTime::ZERO
+    }
+
+    /// Open a `target data` region: every array `region` maps becomes
+    /// resident-tracked, and subsequent offloads touching those arrays
+    /// elide transfers for data already on-device. Regions nest; the
+    /// loop/algorithm/device fields of `region` describe the *scope*,
+    /// only its maps matter here. Opening is free on the virtual clock —
+    /// uploads happen lazily at the first offload, which knows the
+    /// actual split.
+    pub fn data_region_begin(&mut self, region: &OffloadRegion) {
+        self.data_env.open(region);
+    }
+
+    /// Close the innermost `target data` region: flush the deferred
+    /// dirty copy-backs (`from`/`tofrom` entries written by offloads
+    /// inside the region), release the region's device allocations, and
+    /// report what moved.
+    pub fn data_region_end(&mut self) -> Result<DataRegionReport, OffloadError> {
+        let flush = self.data_env.close(&mut self.mem)?;
+        self.engine.reset();
+        let mut end = SimTime::ZERO;
+        let mut bytes = 0u64;
+        for &(dev, b) in &flush {
+            let t = self.engine.transfer(dev, b, Dir::D2H, SimTime::ZERO, "region-flush");
+            end = end.max(t);
+            bytes += b;
+        }
+        Ok(DataRegionReport {
+            flushed_bytes: bytes,
+            flush_transfers: flush.len() as u64,
+            makespan: end - SimTime::ZERO,
+            stats: *self.data_env.stats(),
+        })
+    }
+
+    /// Explicit `target update`: force-refresh device copies from the
+    /// host (`to`) and/or copy device data back to the host (`from`),
+    /// regardless of dirty state. Every named array must be mapped by an
+    /// open `target data` region. An `update from` cleans the dirty bit,
+    /// so the region close will not flush those bytes again.
+    pub fn target_update(
+        &mut self,
+        to: &[&str],
+        from: &[&str],
+    ) -> Result<UpdateReport, OffloadError> {
+        if !self.data_env.active() {
+            return Err(OffloadError::NoOpenDataRegion);
+        }
+        // Validate both name lists up front so a bad `from` cannot leave
+        // the `to` half already applied.
+        for &name in to.iter().chain(from) {
+            if !self.data_env.is_mapped(name) {
+                return Err(OffloadError::UnmappedArray(name.to_string()));
+            }
+        }
+        let up = self.data_env.update_to(to)?;
+        let down = self.data_env.update_from(from)?;
+        self.engine.reset();
+        let mut h2d = 0u64;
+        for &(dev, b) in &up {
+            self.engine.transfer(dev, b, Dir::H2D, SimTime::ZERO, "update-to");
+            h2d += b;
+        }
+        let mut d2h = 0u64;
+        for &(dev, b) in &down {
+            self.engine.transfer(dev, b, Dir::D2H, SimTime::ZERO, "update-from");
+            d2h += b;
+        }
+        Ok(UpdateReport { h2d_bytes: h2d, d2h_bytes: d2h })
+    }
+
+    /// Cumulative transfer accounting of the data environment:
+    /// transferred vs. elided bytes in each direction, plus
+    /// redistribution traffic. Zero until a `target data` region opens.
+    pub fn transfer_stats(&self) -> &TransferStats {
+        self.data_env.stats()
+    }
+
+    /// The persistent data environment (residency inspection).
+    pub fn data_env(&self) -> &DataEnv {
+        &self.data_env
+    }
+
+    /// The memory space backing device `dev`'s persistent allocations.
+    pub fn device_memory(&self, dev: DeviceId) -> Option<&MemorySpace> {
+        self.mem.get(dev as usize)
     }
 
     /// Check that every discrete device in `slots` can hold its fixed
@@ -1005,6 +1259,16 @@ impl Runtime {
     ) -> Result<OffloadReport, OffloadError> {
         let intensity = kernel.intensity();
         let n = slots.len();
+        // When a `target data` region covers this offload, the
+        // environment rewrites the per-slot transfer bytes: resident
+        // data is elided, split changes move only the delta, and
+        // registered copy-backs are deferred to region close. The legacy
+        // `data_resident` flag bypasses the environment entirely.
+        let env = if data_resident {
+            None
+        } else {
+            self.data_env.plan_static(region, plan, counts, slots, &mut self.mem)?
+        };
         let mut completions = vec![SimTime::ZERO; n];
         let mut serial_cursor = SimTime::ZERO;
         let mut range = Range::new(0, region.trip_count);
@@ -1024,10 +1288,14 @@ impl Runtime {
                 continue;
             }
             chunks += 1;
-            let h2d_bytes = if data_resident {
-                plan.h2d_chunk_bytes(my.len())
-            } else {
-                plan.h2d_bytes(s, my.len())
+            let h2d_bytes = match &env {
+                Some(t) => t.h2d[s],
+                None if data_resident => plan.h2d_chunk_bytes(my.len()),
+                None => plan.h2d_bytes(s, my.len()),
+            };
+            let d2h_bytes = match &env {
+                Some(t) => t.d2h[s],
+                None => plan.d2h_bytes(s, my.len()),
             };
             match self.static_pipeline(
                 region,
@@ -1036,7 +1304,7 @@ impl Runtime {
                 my,
                 base_ready[s],
                 h2d_bytes,
-                plan.d2h_bytes(s, my.len()),
+                d2h_bytes,
                 &mut summary,
             ) {
                 Ok((in_done, out_done)) => {
@@ -1110,6 +1378,14 @@ impl Runtime {
     ) -> Result<OffloadReport, OffloadError> {
         let intensity = kernel.intensity();
         let n = slots.len();
+        // Inside a `target data` region, chunked schedules elide only the
+        // *fixed* mappings (replicated / independent / scalars) — aligned
+        // data streams per chunk with no stable ownership to reuse.
+        let env = if data_resident {
+            None
+        } else {
+            self.data_env.plan_fixed(region, plan, slots, &mut self.mem)?
+        };
         let mut queue = ChunkQueue::new(region.trip_count, n);
         let mut counts = vec![0u64; n];
         let mut completions = vec![SimTime::ZERO; n];
@@ -1128,6 +1404,10 @@ impl Runtime {
         let mut serial_cursor = SimTime::ZERO;
         for (s, &dev) in slots.iter().enumerate() {
             let base = if region.parallel_offload { SimTime::ZERO } else { serial_cursor };
+            let fixed_in = match &env {
+                Some(t) => t.h2d[s],
+                None => plan.h2d_fixed_bytes(s),
+            };
             let ready = self.fault_launch(dev, base, &region.name, &mut summary).and_then(
                 |launched| {
                     if data_resident {
@@ -1135,7 +1415,7 @@ impl Runtime {
                     } else {
                         self.fault_transfer(
                             dev,
-                            plan.h2d_fixed_bytes(s),
+                            fixed_in,
                             Dir::H2D,
                             launched,
                             "map-in-fixed",
@@ -1234,7 +1514,10 @@ impl Runtime {
                 if quarantined[s] {
                     continue;
                 }
-                let b = plan.d2h_fixed_bytes(s);
+                let b = match &env {
+                    Some(t) => t.d2h[s],
+                    None => plan.d2h_fixed_bytes(s),
+                };
                 if b > 0 {
                     match self.fault_transfer(
                         dev,
@@ -1284,6 +1567,13 @@ impl Runtime {
     ) -> Result<OffloadReport, OffloadError> {
         let intensity = kernel.intensity();
         let n = slots.len();
+        // Same contract as `run_chunked`: inside a data region only the
+        // fixed mappings elide; the sampled/stage-2 aligned data streams.
+        let env = if data_resident {
+            None
+        } else {
+            self.data_env.plan_fixed(region, plan, slots, &mut self.mem)?
+        };
         let mut range = Range::new(0, region.trip_count);
         let mut counts = vec![0u64; n];
         let mut throughputs = vec![0.0f64; n];
@@ -1301,7 +1591,11 @@ impl Runtime {
         for (s, &dev) in slots.iter().enumerate() {
             let my = range.take(samples[s]);
             let base = if region.parallel_offload { SimTime::ZERO } else { serial_cursor };
-            let fixed = if data_resident { 0 } else { plan.h2d_fixed_bytes(s) };
+            let fixed = match &env {
+                Some(t) => t.h2d[s],
+                None if data_resident => 0,
+                None => plan.h2d_fixed_bytes(s),
+            };
             match self.sample_pipeline(
                 region,
                 &intensity,
@@ -1362,7 +1656,11 @@ impl Runtime {
             // Drain the sample's out-bytes even when stage 2 assigns
             // nothing new.
             let d2h_total = plan.d2h_chunk_bytes(counts[s] + my.len())
-                + if data_resident { 0 } else { plan.d2h_fixed_bytes(s) };
+                + match &env {
+                    Some(t) => t.d2h[s],
+                    None if data_resident => 0,
+                    None => plan.d2h_fixed_bytes(s),
+                };
             if quarantined[s] {
                 // Possible only when every throughput is zero and the
                 // planner dumps the remainder on slot 0: hand it to

@@ -4,7 +4,7 @@
 //! label, trip count, intensity, region builder.
 
 use crate::{axpy, block_matching, matmul, matvec, stencil, sum};
-use homp_core::{Algorithm, OffloadRegion};
+use homp_core::{Algorithm, KernelDescriptor, OffloadRegion};
 use homp_model::KernelIntensity;
 use homp_sim::DeviceId;
 
@@ -96,6 +96,23 @@ impl KernelSpec {
     }
 }
 
+/// Every benchmark kernel can seed the compiler's cost model directly:
+/// `CompileOptions::for_kernel(&spec)` picks up label, trip count and
+/// intensity without the caller restating any of them.
+impl KernelDescriptor for KernelSpec {
+    fn label(&self) -> String {
+        KernelSpec::label(self)
+    }
+
+    fn trip_count(&self) -> u64 {
+        KernelSpec::trip_count(self)
+    }
+
+    fn intensity(&self) -> KernelIntensity {
+        KernelSpec::intensity(self)
+    }
+}
+
 fn human(n: u64) -> String {
     if n.is_multiple_of(1_000_000) && n >= 1_000_000 {
         format!("{}M", n / 1_000_000)
@@ -140,6 +157,14 @@ mod tests {
         assert_eq!(KernelSpec::Axpy(10_000_000).trip_count(), 10_000_000);
         assert_eq!(KernelSpec::MatMul(6_144).trip_count(), 6_144);
         assert_eq!(KernelSpec::BlockMatching(256).trip_count(), 16);
+    }
+
+    #[test]
+    fn specs_drive_compile_options() {
+        let spec = KernelSpec::MatMul(6_144);
+        let opts = homp_core::CompileOptions::for_kernel(&spec);
+        let carried = opts.intensity().expect("spec intensity carried");
+        assert_eq!(carried.flops_per_iter, spec.intensity().flops_per_iter);
     }
 
     #[test]

@@ -566,6 +566,12 @@ pub enum Clause {
     Shared(Vec<String>),
     /// `private(vars…)`
     Private(Vec<String>),
+    /// `to(items…)` motion clause on a `target update` directive:
+    /// force-refresh device copies from the host.
+    UpdateTo(Vec<MapItem>),
+    /// `from(items…)` motion clause on a `target update` directive:
+    /// force-copy device data back to the host.
+    UpdateFrom(Vec<MapItem>),
 }
 
 impl fmt::Display for Clause {
@@ -579,6 +585,26 @@ impl fmt::Display for Clause {
             Clause::NumThreads(e) => write!(f, "num_threads({e})"),
             Clause::Shared(v) => write!(f, "shared({})", v.join(", ")),
             Clause::Private(v) => write!(f, "private({})", v.join(", ")),
+            Clause::UpdateTo(items) => {
+                write!(f, "to(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            Clause::UpdateFrom(items) => {
+                write!(f, "from(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -601,6 +627,8 @@ pub enum ConstructKeyword {
     Teams,
     /// `halo_exchange`
     HaloExchange,
+    /// `update` (as in `target update`)
+    Update,
 }
 
 impl fmt::Display for ConstructKeyword {
@@ -613,6 +641,7 @@ impl fmt::Display for ConstructKeyword {
             ConstructKeyword::Distribute => write!(f, "distribute"),
             ConstructKeyword::Teams => write!(f, "teams"),
             ConstructKeyword::HaloExchange => write!(f, "halo_exchange"),
+            ConstructKeyword::Update => write!(f, "update"),
         }
     }
 }
@@ -658,6 +687,42 @@ impl Directive {
             Clause::DistSchedule(s) if s.level == ScheduleLevel::Target => Some(s),
             _ => None,
         })
+    }
+
+    /// Whether this is a `target data` directive (a structured
+    /// device-data region, not an executable offload).
+    pub fn is_target_data(&self) -> bool {
+        self.constructs.contains(&ConstructKeyword::Target)
+            && self.constructs.contains(&ConstructKeyword::Data)
+    }
+
+    /// Whether this is a `target update` directive (forced host↔device
+    /// refresh inside a data region).
+    pub fn is_target_update(&self) -> bool {
+        self.constructs.contains(&ConstructKeyword::Target)
+            && self.constructs.contains(&ConstructKeyword::Update)
+    }
+
+    /// Items of every `to(...)` motion clause (on `target update`).
+    pub fn update_to(&self) -> impl Iterator<Item = &MapItem> {
+        self.clauses
+            .iter()
+            .filter_map(|c| match c {
+                Clause::UpdateTo(items) => Some(items.iter()),
+                _ => None,
+            })
+            .flatten()
+    }
+
+    /// Items of every `from(...)` motion clause (on `target update`).
+    pub fn update_from(&self) -> impl Iterator<Item = &MapItem> {
+        self.clauses
+            .iter()
+            .filter_map(|c| match c {
+                Clause::UpdateFrom(items) => Some(items.iter()),
+                _ => None,
+            })
+            .flatten()
     }
 
     /// `collapse(n)` argument, defaulting to 1.

@@ -176,6 +176,7 @@ impl Parser {
                 "distribute" => Some(ConstructKeyword::Distribute),
                 "teams" => Some(ConstructKeyword::Teams),
                 "halo_exchange" => Some(ConstructKeyword::HaloExchange),
+                "update" => Some(ConstructKeyword::Update),
                 _ => None,
             };
             match kw {
@@ -208,6 +209,7 @@ impl Parser {
                         "data" => Some(ConstructKeyword::Data),
                         "distribute" => Some(ConstructKeyword::Distribute),
                         "teams" => Some(ConstructKeyword::Teams),
+                        "update" => Some(ConstructKeyword::Update),
                         _ => None,
                     };
                     if let Some(k) = late_kw {
@@ -226,6 +228,16 @@ impl Parser {
                         "num_threads" => self.num_threads_clause()?,
                         "shared" => Clause::Shared(self.ident_list_clause()?),
                         "private" => Clause::Private(self.ident_list_clause()?),
+                        // `to(...)` / `from(...)` are motion clauses and
+                        // only mean something on `target update`; anywhere
+                        // else they stay unknown (map directions live
+                        // *inside* `map(...)`).
+                        "to" if constructs.contains(&ConstructKeyword::Update) => {
+                            Clause::UpdateTo(self.update_items()?)
+                        }
+                        "from" if constructs.contains(&ConstructKeyword::Update) => {
+                            Clause::UpdateFrom(self.update_items()?)
+                        }
                         other => {
                             return Err(self.err(format!("unknown clause `{other}`")));
                         }
@@ -311,6 +323,23 @@ impl Parser {
         }
         self.expect(&TokenKind::RParen)?;
         Ok(Clause::Map(MapClause { dir, items }))
+    }
+
+    /// Item list of a `target update` motion clause: `to(a, b[0:n])`.
+    /// Items reuse the map-item grammar (sections allowed, partitions
+    /// meaningless but tolerated by the shared parser).
+    fn update_items(&mut self) -> Result<Vec<MapItem>, ParseError> {
+        self.bump(); // to | from
+        self.expect(&TokenKind::LParen)?;
+        let mut items = Vec::new();
+        loop {
+            items.push(self.map_item()?);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(items)
     }
 
     fn map_item(&mut self) -> Result<MapItem, ParseError> {
@@ -690,6 +719,31 @@ mod tests {
             }
             other => panic!("expected uold array, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_target_update() {
+        let d = parse_directive("#pragma omp target update to(u[0:n][0:m], f) from(uold)")
+            .unwrap();
+        assert!(d.is_target_update());
+        let to: Vec<_> = d.update_to().collect();
+        assert_eq!(to.len(), 2);
+        match to[0] {
+            MapItem::Array { section, .. } => assert_eq!(section.name, "u"),
+            other => panic!("expected array item, got {other:?}"),
+        }
+        assert_eq!(to[1], &MapItem::Scalar("f".into()));
+        let from: Vec<_> = d.update_from().collect();
+        assert_eq!(from, vec![&MapItem::Scalar("uold".into())]);
+        // Display round-trips through the parser.
+        let again = parse_directive(&d.to_string()).unwrap();
+        assert_eq!(again, d);
+    }
+
+    #[test]
+    fn to_from_clauses_rejected_outside_update() {
+        let err = parse_directive("#pragma omp target to(u)").unwrap_err();
+        assert!(err.to_string().contains("unknown clause"), "{err}");
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub use device::{DeviceDescriptor, DeviceId, DeviceType, Link, MemoryKind};
 pub use engine::{ChunkWork, Dir, Engine, TeamSched};
 pub use fault::{DeviceFaultPlan, Fault, FaultKind, FaultPlan};
 pub use machine::{Machine, MachineParseError};
-pub use memory::{mapping_decision, MappingDecision, MemorySpace};
-pub use metrics::{DeviceMetrics, Metrics};
+pub use memory::{mapping_decision, AllocId, MappingDecision, MemoryError, MemorySpace};
+pub use metrics::{DeviceMetrics, Metrics, TransferStats};
 pub use noise::NoiseModel;
 pub use profile::{profile_device, profile_machine, solve_hockney};
 pub use time::{SimSpan, SimTime};

@@ -113,6 +113,26 @@ impl MemorySpace {
         }
     }
 
+    /// Resize a live allocation in place — the repartitioning path of a
+    /// persistent data region, where a resident array's per-device share
+    /// grows or shrinks between offloads without a free/alloc round trip
+    /// (the handle and the allocation's identity survive). Fails without
+    /// side effects if growth would exceed capacity or the handle is
+    /// unknown.
+    pub fn realloc(&mut self, id: AllocId, bytes: u64) -> Result<(), MemoryError> {
+        let Some(&old) = self.live.get(&id.0) else {
+            return Err(MemoryError::UnknownAllocation);
+        };
+        let free = self.capacity - self.in_use;
+        if bytes > old && bytes - old > free {
+            return Err(MemoryError::OutOfMemory { requested: bytes - old, free });
+        }
+        self.live.insert(id.0, bytes);
+        self.in_use = self.in_use - old + bytes;
+        self.peak = self.peak.max(self.in_use);
+        Ok(())
+    }
+
     /// Bytes currently allocated.
     pub fn in_use(&self) -> u64 {
         self.in_use
@@ -180,6 +200,24 @@ mod tests {
         let a = m.alloc(10).unwrap();
         m.free(a).unwrap();
         assert_eq!(m.free(a), Err(MemoryError::UnknownAllocation));
+    }
+
+    #[test]
+    fn realloc_grows_and_shrinks() {
+        let mut m = MemorySpace::new(100);
+        let a = m.alloc(40).unwrap();
+        m.realloc(a, 70).unwrap();
+        assert_eq!(m.in_use(), 70);
+        assert_eq!(m.peak(), 70);
+        m.realloc(a, 10).unwrap();
+        assert_eq!(m.in_use(), 10);
+        assert_eq!(m.peak(), 70, "peak is sticky");
+        // Growth past capacity fails and leaves accounting untouched.
+        let err = m.realloc(a, 200).unwrap_err();
+        assert_eq!(err, MemoryError::OutOfMemory { requested: 190, free: 90 });
+        assert_eq!(m.in_use(), 10);
+        m.free(a).unwrap();
+        assert_eq!(m.realloc(a, 5), Err(MemoryError::UnknownAllocation));
     }
 
     #[test]

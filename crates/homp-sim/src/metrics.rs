@@ -55,6 +55,55 @@ fn intersection_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
     acc
 }
 
+/// Cumulative transfer accounting for a persistent device-data
+/// environment (`target data`), kept *across* offloads — unlike
+/// [`Metrics`], which is recomputed per trace. The runtime adds to these
+/// counters as it decides, per mapped array, whether bytes must move or
+/// are already resident.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Host→device bytes actually transferred.
+    pub h2d_bytes: u64,
+    /// Host→device bytes *elided*: requested by a map but already
+    /// resident with a compatible partition, so never moved.
+    pub h2d_elided_bytes: u64,
+    /// Device→host bytes actually transferred (including deferred
+    /// copy-backs flushed at region close or `target update from`).
+    pub d2h_bytes: u64,
+    /// Device→host bytes elided: per-offload copy-backs deferred by
+    /// dirty tracking (the region writes back once, not every offload).
+    pub d2h_elided_bytes: u64,
+    /// Bytes moved to *repartition* resident data after a split change
+    /// (e.g. BLOCK → MODEL_1); a subset of `h2d_bytes`.
+    pub redistributed_bytes: u64,
+}
+
+impl TransferStats {
+    /// Total bytes a naive per-offload mapping would have moved.
+    pub fn requested_bytes(&self) -> u64 {
+        self.h2d_bytes + self.h2d_elided_bytes + self.d2h_bytes + self.d2h_elided_bytes
+    }
+
+    /// Fraction of requested traffic that never crossed the bus, in
+    /// `[0, 1]`; 0 when nothing was requested.
+    pub fn elided_fraction(&self) -> f64 {
+        let req = self.requested_bytes();
+        if req == 0 {
+            return 0.0;
+        }
+        (self.h2d_elided_bytes + self.d2h_elided_bytes) as f64 / req as f64
+    }
+
+    /// Merge another set of counters into this one.
+    pub fn absorb(&mut self, other: &TransferStats) {
+        self.h2d_bytes += other.h2d_bytes;
+        self.h2d_elided_bytes += other.h2d_elided_bytes;
+        self.d2h_bytes += other.d2h_bytes;
+        self.d2h_elided_bytes += other.d2h_elided_bytes;
+        self.redistributed_bytes += other.redistributed_bytes;
+    }
+}
+
 /// Metrics for one device, computed from its trace events.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeviceMetrics {

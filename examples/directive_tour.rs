@@ -75,7 +75,7 @@ fn main() {
         &[&jacobi, &lp],
         &env,
         &type_names,
-        &CompileOptions::new("jacobi", 512).with_loop_label("loop1"),
+        &CompileOptions::for_loop("jacobi", 512).with_loop_label("loop1"),
     )
     .unwrap();
     println!("  region `{}`: {} devices, {} arrays, algorithm {}", region.name,

@@ -23,7 +23,7 @@ fn run(homp: &mut Homp, label: &str) -> OffloadReport {
                 "#pragma omp parallel for distribute dist_schedule(target:[SCHED_DYNAMIC,2%])",
             ],
             &env,
-            CompileOptions::new("axpy", N as u64),
+            CompileOptions::for_loop("axpy", N as u64),
         )
         .expect("directives compile");
 

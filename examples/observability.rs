@@ -27,7 +27,7 @@ fn run(homp: &mut Homp, schedule: &str) -> OffloadReport {
                 ),
             ],
             &env,
-            CompileOptions::new("axpy", N as u64),
+            CompileOptions::for_loop("axpy", N as u64),
         )
         .expect("directives compile");
 

@@ -16,7 +16,7 @@ fn run_variant(homp: &mut Homp, name: &str, directives: &[&str]) {
     let mut env = Env::new();
     env.insert("n".into(), N as i64);
     let region = homp
-        .compile_source(directives, &env, CompileOptions::new(name, N as u64))
+        .compile_source(directives, &env, CompileOptions::for_loop(name, N as u64))
         .expect("directives compile");
 
     let a = 2.0f64;

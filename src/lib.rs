@@ -41,7 +41,7 @@
 //!         "#pragma omp parallel for distribute dist_schedule(target:[AUTO])",
 //!     ],
 //!     &env,
-//!     CompileOptions::new("axpy", 100_000),
+//!     CompileOptions::for_loop("axpy", 100_000),
 //! ).unwrap();
 //!
 //! // Real data, really computed — distribution decided by the runtime.
@@ -73,11 +73,13 @@ pub use homp_sim as sim;
 /// The items most programs need.
 pub mod prelude {
     pub use homp_core::{
-        Algorithm, ChunkDecision, CompileOptions, FaultConfig, FnKernel, Homp, LoopKernel,
-        OffloadRegion, OffloadReport, Range, RunReport, Runtime,
+        Algorithm, ChunkDecision, CompileError, CompileOptions, DataRegion, DataRegionReport,
+        FaultConfig, FnKernel, Homp, HompError, KernelDescriptor, KernelInfo, LoopKernel,
+        OffloadError, OffloadRegion, OffloadReport, Range, RunReport, Runtime, RuntimeConfig,
+        UpdateReport,
     };
     pub use homp_kernels::{KernelSpec, PhantomKernel};
-    pub use homp_lang::{parse_directive, Env};
+    pub use homp_lang::{parse_directive, Env, ParseError};
     pub use homp_model::KernelIntensity;
-    pub use homp_sim::{FaultPlan, Machine, Metrics, SimSpan, SimTime};
+    pub use homp_sim::{FaultPlan, Machine, Metrics, SimSpan, SimTime, TransferStats};
 }

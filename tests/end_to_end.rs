@@ -25,7 +25,7 @@ fn axpy_from_directives_on_every_machine() {
                     "#pragma omp parallel for distribute dist_schedule(target:[AUTO])",
                 ],
                 &env,
-                CompileOptions::new("axpy", n as u64),
+                CompileOptions::for_loop("axpy", n as u64),
             )
             .unwrap();
         let mut k = axpy::Axpy::new(n, 3.5);
@@ -94,7 +94,7 @@ fn serialized_and_parallel_offload_same_results() {
                     "#pragma omp parallel for distribute dist_schedule(target:[BLOCK])",
                 ],
                 &env,
-                CompileOptions::new("axpy", n as u64),
+                CompileOptions::for_loop("axpy", n as u64),
             )
             .unwrap();
         assert_eq!(region.parallel_offload, parallel);
@@ -122,7 +122,7 @@ fn cutoff_region_from_directive_drops_devices() {
                  dist_schedule(target:[MODEL_2_AUTO], CUTOFF(15%))",
             ],
             &env,
-            CompileOptions::new("reduce", 100_000),
+            CompileOptions::for_loop("reduce", 100_000),
         )
         .unwrap();
     let mut k = sum::Sum::new(100_000);
