@@ -1,6 +1,7 @@
 //! Figure 9 — offloading execution time (ms) on the full node
-//! (2 CPUs + 4 GPUs + 2 MICs) under the seven policies, plus the
-//! minimum time with a 15% CUTOFF ratio applied.
+//! (2 CPUs + 4 GPUs + 2 MICs) under the extended suite (the paper's
+//! seven policies plus WORK_ASSIST), plus the minimum time with a 15%
+//! CUTOFF ratio applied.
 //!
 //! Paper finding: "when computational resources vary significantly in
 //! performance, SCHED_DYNAMIC yields decent performance for most
@@ -9,7 +10,8 @@
 //! (100/7 ≈ 15%).
 
 use homp_bench::{
-    best_cell, experiment, format_matrix, grid_csv, run_grid, write_artifact, Cell, SEED,
+    best_cell, experiment, format_matrix, grid_csv, run_grid, seed_from_args,
+    write_artifact, Cell,
 };
 use homp_core::Algorithm;
 use homp_kernels::KernelSpec;
@@ -23,8 +25,9 @@ fn main() {
 fn run() {
     let machine = Machine::full_node();
     let specs = KernelSpec::paper_suite();
+    let seed = seed_from_args();
 
-    let plain = run_grid(&machine, &specs, &Algorithm::paper_suite(), SEED);
+    let plain = run_grid(&machine, &specs, &Algorithm::extended_suite(), seed);
     print!(
         "{}",
         format_matrix(
@@ -35,7 +38,7 @@ fn run() {
         )
     );
 
-    let cut = run_grid(&machine, &specs, &Algorithm::paper_suite_with_cutoff(0.15), SEED);
+    let cut = run_grid(&machine, &specs, &Algorithm::extended_suite_with_cutoff(0.15), seed);
     println!("\nminimum execution time with CUTOFF_RATIO(15%):");
     println!(
         "{:<16} {:>14} {:>14} {:>24} {:>18}",

@@ -25,6 +25,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Default noise seed for all experiments (deterministic).
 pub const SEED: u64 = 20170529; // IPPS 2017 orlando week
 
+/// The experiment's noise seed: `--seed N` from the command line, or
+/// [`SEED`]. Figure binaries take this so CI can pin goldens at a
+/// fixed seed while exploratory runs stay free to vary it.
+pub fn seed_from_args() -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().unwrap_or_else(|| panic!("--seed needs a value"));
+            return v.parse().unwrap_or_else(|_| panic!("--seed {v}: not a u64"));
+        }
+        if let Some(v) = a.strip_prefix("--seed=") {
+            return v.parse().unwrap_or_else(|_| panic!("--seed {v}: not a u64"));
+        }
+    }
+    SEED
+}
+
 /// Grid cells simulated so far in this process (each [`run_one`] /
 /// [`try_run_one`] call is one cell, regardless of its inner seed
 /// loop). The [`experiment`] wrapper reports this as a throughput
@@ -107,6 +124,10 @@ pub struct Cell {
     pub kernel: String,
     /// Algorithm notation (`SCHED_DYNAMIC,2%`).
     pub algorithm: String,
+    /// Stable algorithm key (`sched_dynamic_2`) — the machine-readable
+    /// handle for picking columns out of a grid; unlike the display
+    /// notation it is independent of float formatting.
+    pub key: String,
     /// The offload report.
     pub report: OffloadReport,
 }
@@ -152,7 +173,7 @@ pub fn run_one(machine: &Machine, spec: KernelSpec, alg: Algorithm, seed: u64) -
     let mut median = reports.swap_remove(reports.len() / 2);
     median.makespan = homp_sim::SimSpan::from_secs(mean_secs);
     CELLS.fetch_add(1, Ordering::Relaxed);
-    Cell { kernel: spec.label(), algorithm: alg.to_string(), report: median }
+    Cell { kernel: spec.label(), algorithm: alg.to_string(), key: alg.key(), report: median }
 }
 
 /// Like [`run_one`], but `None` when the plan legitimately cannot run
@@ -172,7 +193,7 @@ pub fn try_run_one(
     let out = match rt.offload(&region, &mut kernel) {
         Ok(report) => {
             count_sim(&report);
-            Some(Cell { kernel: spec.label(), algorithm: alg.to_string(), report })
+            Some(Cell { kernel: spec.label(), algorithm: alg.to_string(), key: alg.key(), report })
         }
         Err(homp_core::OffloadError::OutOfDeviceMemory { .. }) => None,
         Err(e) => panic!("offload failed: {e}"),

@@ -14,10 +14,11 @@ use homp_sim::Machine;
 
 #[test]
 fn fig5_grid_is_byte_identical_across_job_counts() {
-    // The fig5 grid exactly: paper kernels × paper algorithms on 4 K40s.
+    // The fig5 grid exactly: paper kernels × the extended (8-algorithm)
+    // suite, WORK_ASSIST included, on 4 K40s.
     let machine = Machine::four_k40();
     let specs = KernelSpec::paper_suite();
-    let algorithms = Algorithm::paper_suite();
+    let algorithms = Algorithm::extended_suite();
 
     let serial = grid_csv(&run_grid_jobs(&machine, &specs, &algorithms, SEED, 1));
     let parallel = grid_csv(&run_grid_jobs(&machine, &specs, &algorithms, SEED, 4));
@@ -27,10 +28,11 @@ fn fig5_grid_is_byte_identical_across_job_counts() {
 #[test]
 fn fig9_grid_is_byte_identical_across_job_counts() {
     // The fig9 grid: the full heterogeneous node, where cell runtimes
-    // vary the most and work stealing reorders completion the hardest.
+    // vary the most and work stealing reorders completion the hardest —
+    // WORK_ASSIST's event loop must stay deterministic here too.
     let machine = Machine::full_node();
     let specs = KernelSpec::paper_suite();
-    let algorithms = Algorithm::paper_suite();
+    let algorithms = Algorithm::extended_suite();
 
     let serial = grid_csv(&run_grid_jobs(&machine, &specs, &algorithms, SEED, 1));
     let parallel = grid_csv(&run_grid_jobs(&machine, &specs, &algorithms, SEED, 4));

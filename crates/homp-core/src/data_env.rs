@@ -108,7 +108,7 @@ pub(crate) struct FixedTransfers {
 
 /// The persistent device-data environment. Owned by the runtime; one
 /// per simulated machine.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DataEnv {
     entries: BTreeMap<String, Entry>,
     /// Array names declared by each open region, innermost last.
@@ -264,6 +264,26 @@ impl DataEnv {
         }
         out.sort();
         Ok(out)
+    }
+
+    /// Forget the recorded residency of `region`'s arrays without
+    /// releasing their allocations, and clear their dirty bits.
+    ///
+    /// The work-assisting scheduler calls this after a run in which
+    /// steals fired: final per-device ownership then differs from the
+    /// static split `plan_static` recorded (stolen tails computed — and
+    /// copied back — on the thief, not the planned owner), so the next
+    /// offload must not elide transfers against the stale intervals.
+    /// The assisted run charges its copy-backs eagerly instead of
+    /// deferring them to region close, which is why the dirty bit is
+    /// cleared along with the spans.
+    pub(crate) fn invalidate_residency(&mut self, region: &OffloadRegion) {
+        for a in &region.arrays {
+            if let Some(e) = self.entries.get_mut(&a.name) {
+                e.resident.clear();
+                e.dirty = false;
+            }
+        }
     }
 
     /// Residency-adjusted per-slot transfer bytes for a *static* offload

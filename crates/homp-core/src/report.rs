@@ -58,8 +58,11 @@ pub struct ChunkDecision {
     /// Iteration range of the chunk.
     pub range: Range,
     /// Which scheduling stage placed it: `"static"`, `"chunk"`,
-    /// `"sample"`, `"stage2"` or `"requeue"`.
+    /// `"sample"`, `"stage2"`, `"requeue"` or `"assist"`.
     pub stage: &'static str,
+    /// For `"assist"` decisions: the device the range was stolen from
+    /// (the straggler or quarantined donor). `None` everywhere else.
+    pub donor: Option<DeviceId>,
     /// Predicted wall time for the chunk, seconds — `None` for
     /// schedulers that do not predict (BLOCK, SCHED_*, stage-1 samples).
     pub predicted_s: Option<f64>,
@@ -313,6 +316,11 @@ impl RunReport {
                  \"stage\": \"{}\", \"requeued\": {}, \"realized_s\": {:.9}, ",
                 d.slot, d.device, d.range.start, d.range.end, d.stage, d.requeued, d.realized_s
             );
+            // Emitted only when present so reports from assist-free
+            // runs stay byte-identical to the pre-assist goldens.
+            if let Some(donor) = d.donor {
+                let _ = write!(out, "\"donor\": {donor}, ");
+            }
             match (d.predicted_s, d.source) {
                 (Some(p), Some(src)) => {
                     let _ = write!(
@@ -347,6 +355,7 @@ mod tests {
             source: predicted.map(|_| PredictionSource::Model2),
             realized_s: realized,
             requeued: false,
+            donor: None,
         }
     }
 

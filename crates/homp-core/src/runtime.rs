@@ -22,6 +22,7 @@ use crate::map::{DataPlan, PlanError};
 use crate::offload::OffloadRegion;
 use crate::region::Range;
 use crate::report::{ChunkDecision, PredictionSource, RunReport};
+use crate::sched::assist::{self, StealPolicy};
 use crate::sched::chunking::{ChunkPolicy, ChunkQueue, DynamicChunks, GuidedChunks};
 use crate::sched::model_sched::{model1_plan, model2_plan, throughput_plan, ModelPlan};
 use crate::sched::profile_sched::{const_sample_counts, measured_throughput, model_sample_counts};
@@ -286,6 +287,139 @@ impl OffloadReport {
 struct Predictions {
     source: PredictionSource,
     per_slot: Vec<f64>,
+}
+
+/// A piece of the loop in flight during a work-assisted run: its
+/// transfer and launch have committed, its compute has not.
+#[derive(Debug, Clone, Copy)]
+struct AssistPiece {
+    /// Slot executing the piece.
+    slot: usize,
+    /// Iterations the piece covers (shrinks if a thief steals the tail).
+    range: Range,
+    /// When the slot began acquiring the piece (setup / grab start) —
+    /// the baseline for its realized time.
+    base: SimTime,
+    /// When the compute becomes ready (launch + in-transfer committed).
+    start: SimTime,
+    /// The engine's exact finish time, peeked without committing — the
+    /// proxy *is* the simulator, so its estimate is the DES's answer.
+    pred_end: SimTime,
+    /// Device the range was stolen from, for the decision log.
+    donor: Option<DeviceId>,
+    /// Whether the range was rescued from a quarantined device.
+    requeued: bool,
+}
+
+/// A committed compute awaiting the final map-out flush. The kernel is
+/// *not* executed until that flush succeeds — exactly-once under faults.
+#[derive(Debug, Clone, Copy)]
+struct DonePiece {
+    piece: AssistPiece,
+    comp_end: SimTime,
+}
+
+/// Work dropped by a quarantined device, up for adoption by assistants.
+#[derive(Debug, Clone, Copy)]
+struct Orphan {
+    range: Range,
+    /// The failure becomes public knowledge only at this time; no
+    /// assistant can react earlier.
+    known_at: SimTime,
+    /// The device that dropped it.
+    donor: DeviceId,
+}
+
+/// Mutable state threaded through the work-assist event loop.
+struct AssistState {
+    /// Pieces set up but not yet committed (at most one per slot).
+    pending: Vec<AssistPiece>,
+    orphans: VecDeque<Orphan>,
+    /// Per-slot committed computes awaiting flush.
+    done: Vec<Vec<DonePiece>>,
+    /// `Some(t)` while a slot is alive, drained and looking for work.
+    free_since: Vec<Option<SimTime>>,
+    /// Per-slot time of the last committed engine op.
+    last_free: Vec<SimTime>,
+    quarantined: Vec<bool>,
+    completions: Vec<SimTime>,
+    /// Per-slot iterations actually executed (flushed) by the kernel.
+    exec_counts: Vec<u64>,
+    /// Ranges that must fall back to the serial requeue path.
+    failed: VecDeque<Range>,
+    summary: FaultSummary,
+    chunks: u64,
+    /// Whether any steal or orphan adoption happened.
+    fired: bool,
+}
+
+impl AssistState {
+    fn new(n: usize) -> AssistState {
+        AssistState {
+            pending: Vec::new(),
+            orphans: VecDeque::new(),
+            done: vec![Vec::new(); n],
+            free_since: vec![None; n],
+            last_free: vec![SimTime::ZERO; n],
+            quarantined: vec![false; n],
+            completions: vec![SimTime::ZERO; n],
+            exec_counts: vec![0; n],
+            failed: VecDeque::new(),
+            summary: FaultSummary::default(),
+            chunks: 0,
+            fired: false,
+        }
+    }
+
+    /// Quarantine a slot: its unflushed computes are lost (the kernel
+    /// never ran for them) and must be re-executed elsewhere.
+    fn drop_slot(&mut self, s: usize, dev: DeviceId, at: SimTime) {
+        self.quarantined[s] = true;
+        self.summary.dropouts.push(dev);
+        self.completions[s] = at;
+        self.free_since[s] = None;
+        for dp in self.done[s].drain(..) {
+            self.failed.push_back(dp.piece.range);
+        }
+    }
+}
+
+/// The next piece the assist commit loop should retire: earliest
+/// predicted finish, ties broken by slot for determinism.
+fn next_pending(pending: &[AssistPiece]) -> Option<usize> {
+    pending
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, p)| (p.pred_end, p.slot))
+        .map(|(i, _)| i)
+}
+
+/// The steal target for a device freed at `now`: the pending piece with
+/// the latest predicted finish whose unexecuted tail is still worth
+/// splitting under `policy`. Returns `(index, kept, stolen)`.
+fn pick_victim(
+    pending: &[AssistPiece],
+    policy: &StealPolicy,
+    now: SimTime,
+) -> Option<(usize, Range, Range)> {
+    let mut best: Option<(usize, Range, Range)> = None;
+    for (i, p) in pending.iter().enumerate() {
+        let executed = assist::estimate_executed(p.range.len(), p.start, p.pred_end, now);
+        let Some((kept, stolen)) = assist::steal_from_tail(p.range, executed, policy) else {
+            continue;
+        };
+        let better = match best {
+            None => true,
+            Some((j, _, _)) => {
+                let q = &pending[j];
+                p.pred_end > q.pred_end || (p.pred_end == q.pred_end && p.slot < q.slot)
+            }
+        };
+        if better {
+            best = Some((i, kept, stolen));
+        }
+    }
+    best
 }
 
 /// The runtime: a simulated machine plus profiled device parameters.
@@ -977,6 +1111,17 @@ impl Runtime {
                     region, kernel, &plan, &samples, cutoff, slots, data_resident, algorithm,
                 )
             }
+            Algorithm::WorkAssist { min_assist_pct, cutoff } => {
+                let mp = model2_plan(&slot_params, &intensity, region.trip_count, cutoff);
+                self.check_capacity(slots, &plan, 0, Some(&mp.counts))?;
+                let pred = self.log_decisions.then(|| {
+                    self.predict_static(PredictionSource::Model2, slots, &intensity, &mp.counts)
+                });
+                self.run_assisted(
+                    region, kernel, &plan, &mp, slots, &mut base_ready, data_resident,
+                    algorithm, min_assist_pct, pred,
+                )
+            }
             Algorithm::Auto { .. } => unreachable!("AUTO resolved above"),
         };
         report
@@ -1223,6 +1368,7 @@ impl Runtime {
                                 source: None,
                                 realized_s: (out_done - cursor).as_secs(),
                                 requeued: true,
+                                donor: None,
                             });
                             cursor = out_done;
                         }
@@ -1323,6 +1469,7 @@ impl Runtime {
                         source: pred.as_ref().map(|p| p.source),
                         realized_s: (out_done - base_ready[s]).as_secs(),
                         requeued: false,
+                        donor: None,
                     });
                 }
                 Err(f) => {
@@ -1360,6 +1507,428 @@ impl Runtime {
             summary,
             intensity.flops_per_iter,
         ))
+    }
+
+    /// Work-assisted distribution (`WORK_ASSIST`): MODEL_2 initial
+    /// shares plus a dynamic rescue pass. A device that drains its share
+    /// adopts a quarantined device's orphaned range, or steals the
+    /// aligned back half of the worst straggler's unexecuted tail,
+    /// paying transfer for only the stolen span.
+    ///
+    /// Runs a *dry run* first, on cloned engine and data-environment
+    /// state, to learn whether any assist would fire. When none would —
+    /// balanced shares, mild noise — the offload is delegated to
+    /// [`Self::run_static`], so the no-assist case is byte-identical to
+    /// `MODEL_2_AUTO` by construction (the event loop issues the same
+    /// per-device op sequence, only trace row order would differ). When
+    /// assists fire, the identical deterministic event loop re-runs for
+    /// real.
+    #[allow(clippy::too_many_arguments)]
+    fn run_assisted(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+        plan: &DataPlan,
+        mp: &ModelPlan,
+        slots: &[DeviceId],
+        base_ready: &mut [SimTime],
+        data_resident: bool,
+        algorithm: Algorithm,
+        min_assist_pct: f64,
+        pred: Option<Predictions>,
+    ) -> Result<OffloadReport, OffloadError> {
+        let policy = StealPolicy::for_region(region, min_assist_pct);
+
+        let snap_engine = self.engine.clone();
+        let snap_env = self.data_env.clone();
+        let snap_mem = self.mem.clone();
+        let snap_base: Vec<SimTime> = base_ready.to_vec();
+        let probe = self.assist_event_loop(
+            region, kernel, plan, mp, slots, base_ready, data_resident, &policy,
+            pred.as_ref(), false,
+        );
+        self.engine = snap_engine;
+        self.data_env = snap_env;
+        self.mem = snap_mem;
+        base_ready.copy_from_slice(&snap_base);
+
+        if !probe?.fired {
+            return self.run_static(
+                region, kernel, plan, &mp.counts, slots, base_ready, data_resident,
+                algorithm, Some(mp), pred,
+            );
+        }
+        let mut st = self.assist_event_loop(
+            region, kernel, plan, mp, slots, base_ready, data_resident, &policy,
+            pred.as_ref(), true,
+        )?;
+        self.recover(
+            region,
+            kernel,
+            plan,
+            slots,
+            &mut st.quarantined,
+            &mut st.completions,
+            &mut st.exec_counts,
+            &mut st.failed,
+            &mut st.chunks,
+            &mut st.summary,
+        )?;
+        // Final per-device ownership differs from the static split the
+        // data environment recorded (copy-backs were charged eagerly at
+        // the flush); forget the stale intervals so later offloads in
+        // the same `target data` region re-transfer instead of eliding.
+        self.data_env.invalidate_residency(region);
+        Ok(self.finish(
+            region,
+            slots,
+            st.exec_counts,
+            &st.completions,
+            algorithm,
+            Some(mp),
+            st.chunks,
+            st.summary,
+            kernel.intensity().flops_per_iter,
+        ))
+    }
+
+    /// The deterministic work-assist event loop. With `commit = false`
+    /// this is the dry run: no kernel execution, no decision notes, no
+    /// flush phase — it returns as soon as `fired` is decided (the
+    /// caller restores the engine and data state either way). With
+    /// `commit = true` it performs the run for real.
+    ///
+    /// Three phases: a setup pass issuing, op for op, the same launch +
+    /// map-in prefix as `run_static` (which is what makes the dry run's
+    /// fault behaviour faithful to the static path); a commit loop that
+    /// pops the pending piece with the earliest finish time, commits its
+    /// compute, and lets the freed device grab new work; and a flush
+    /// pass that moves each surviving device's results out in slot
+    /// order, executing the kernel only once the map-out succeeds.
+    #[allow(clippy::too_many_arguments)]
+    fn assist_event_loop(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+        plan: &DataPlan,
+        mp: &ModelPlan,
+        slots: &[DeviceId],
+        base_ready: &mut [SimTime],
+        data_resident: bool,
+        policy: &StealPolicy,
+        pred: Option<&Predictions>,
+        commit: bool,
+    ) -> Result<AssistState, OffloadError> {
+        let intensity = kernel.intensity();
+        let n = slots.len();
+        let env = if data_resident {
+            None
+        } else {
+            self.data_env.plan_static(region, plan, &mp.counts, slots, &mut self.mem)?
+        };
+        let overhead = SimSpan::from_micros(self.faults.requeue_overhead_us);
+        let mut st = AssistState::new(n);
+
+        // Phase 1: initial shares, serialized like the static path.
+        let mut serial_cursor = SimTime::ZERO;
+        let mut range = Range::new(0, region.trip_count);
+        for (s, &dev) in slots.iter().enumerate() {
+            let my = range.take(mp.counts[s]);
+            if !region.parallel_offload {
+                base_ready[s] = serial_cursor;
+            }
+            if my.is_empty() {
+                // Cutoff-dropped slots never set up, so they cannot
+                // assist either — they have no data on-device.
+                st.completions[s] = base_ready[s];
+                continue;
+            }
+            let h2d_bytes = match &env {
+                Some(t) => t.h2d[s],
+                None if data_resident => plan.h2d_chunk_bytes(my.len()),
+                None => plan.h2d_bytes(s, my.len()),
+            };
+            let setup = self
+                .fault_launch(dev, base_ready[s], &region.name, &mut st.summary)
+                .and_then(|launched| {
+                    self.fault_transfer(
+                        dev, h2d_bytes, Dir::H2D, launched, "map-in", &mut st.summary,
+                    )
+                });
+            match setup {
+                Ok(in_done) => {
+                    if !region.parallel_offload {
+                        serial_cursor = in_done;
+                    }
+                    let work = chunk_work(region, my, &intensity);
+                    let pred_end =
+                        self.engine.peek_compute_end(dev, &work, in_done, region.team_sched);
+                    st.pending.push(AssistPiece {
+                        slot: s,
+                        range: my,
+                        base: base_ready[s],
+                        start: in_done,
+                        pred_end,
+                        donor: None,
+                        requeued: false,
+                    });
+                }
+                Err(f) => {
+                    if !region.parallel_offload {
+                        serial_cursor = f.at;
+                    }
+                    st.drop_slot(s, dev, f.at);
+                    st.orphans.push_back(Orphan { range: my, known_at: f.at, donor: dev });
+                }
+            }
+        }
+        debug_assert!(range.is_empty(), "model plan must cover the loop");
+
+        // Phase 2: commit computes in finish order; freed devices grab.
+        while let Some(idx) = next_pending(&st.pending) {
+            let piece = st.pending.swap_remove(idx);
+            let s = piece.slot;
+            let dev = slots[s];
+            let work = chunk_work(region, piece.range, &intensity);
+            match self.engine.try_compute_teams(
+                dev,
+                &work,
+                piece.start,
+                &region.name,
+                region.team_sched,
+            ) {
+                Ok(end) => {
+                    debug_assert_eq!(end, piece.pred_end, "peek must match commit");
+                    st.chunks += 1;
+                    st.last_free[s] = end;
+                    st.done[s].push(DonePiece { piece, comp_end: end });
+                    st.free_since[s] = Some(end);
+                }
+                Err(f) => {
+                    st.drop_slot(s, dev, f.at);
+                    st.orphans.push_back(Orphan {
+                        range: piece.range,
+                        known_at: f.at,
+                        donor: dev,
+                    });
+                }
+            }
+            self.assist_dispatch(region, plan, &intensity, policy, slots, overhead, &mut st);
+            if st.fired && !commit {
+                return Ok(st);
+            }
+        }
+        if !commit {
+            return Ok(st);
+        }
+
+        // Phase 3: flush results in slot order. Copy-backs are charged
+        // eagerly and in full here — ownership moved under the data
+        // environment's feet, so nothing is deferred to region close.
+        for (s, &dev) in slots.iter().enumerate() {
+            if st.quarantined[s] || st.done[s].is_empty() {
+                continue;
+            }
+            let owned: u64 = st.done[s].iter().map(|d| d.piece.range.len()).sum();
+            let d2h_bytes = plan.d2h_bytes(s, owned);
+            match self.fault_transfer(
+                dev,
+                d2h_bytes,
+                Dir::D2H,
+                st.last_free[s],
+                "map-out",
+                &mut st.summary,
+            ) {
+                Ok(out_done) => {
+                    st.completions[s] = out_done;
+                    for dp in std::mem::take(&mut st.done[s]) {
+                        kernel.execute(dp.piece.range);
+                        st.exec_counts[s] += dp.piece.range.len();
+                        if dp.piece.requeued {
+                            st.summary.requeued_chunks += 1;
+                            st.summary.requeued_iters += dp.piece.range.len();
+                        }
+                        let assisted = dp.piece.donor.is_some();
+                        let predicted_s = match (pred, assisted) {
+                            (Some(p), false) => Some(p.per_slot[s]),
+                            (Some(_), true) => Some(
+                                homp_model::model2::device_cost(
+                                    &self.params[dev as usize],
+                                    &intensity,
+                                )
+                                .time(dp.piece.range.len() as f64),
+                            ),
+                            (None, _) => None,
+                        };
+                        let realized_s = if assisted {
+                            (dp.comp_end - dp.piece.base).as_secs()
+                        } else {
+                            (out_done - dp.piece.base).as_secs()
+                        };
+                        self.note(ChunkDecision {
+                            slot: s,
+                            device: dev,
+                            range: dp.piece.range,
+                            stage: if assisted { "assist" } else { "static" },
+                            predicted_s,
+                            source: predicted_s.map(|_| PredictionSource::Model2),
+                            realized_s,
+                            requeued: dp.piece.requeued,
+                            donor: dp.piece.donor,
+                        });
+                    }
+                }
+                Err(f) => {
+                    st.drop_slot(s, dev, f.at);
+                }
+            }
+        }
+        // Orphans nobody adopted (all peers dead or drained earlier)
+        // fall back to the serial requeue path.
+        for o in st.orphans.drain(..) {
+            st.failed.push_back(o.range);
+        }
+        Ok(st)
+    }
+
+    /// Hand work to every free device, in deterministic (free-time,
+    /// slot) order: orphaned ranges first (a rescue pays the requeue
+    /// overhead and moves only the adopted span's bytes), else steal the
+    /// aligned back half of the straggler with the latest predicted
+    /// finish. Loops until no free device can act.
+    #[allow(clippy::too_many_arguments)]
+    fn assist_dispatch(
+        &mut self,
+        region: &OffloadRegion,
+        plan: &DataPlan,
+        intensity: &KernelIntensity,
+        policy: &StealPolicy,
+        slots: &[DeviceId],
+        overhead: SimSpan,
+        st: &mut AssistState,
+    ) {
+        loop {
+            let mut free: Vec<(SimTime, usize)> = st
+                .free_since
+                .iter()
+                .enumerate()
+                .filter_map(|(s, t)| t.map(|t| (t, s)))
+                .collect();
+            free.sort();
+            let mut progressed = false;
+            for (now, s) in free {
+                if st.free_since[s].is_none() || st.quarantined[s] {
+                    continue;
+                }
+                if let Some(o) = st.orphans.pop_front() {
+                    let (take, rest) = assist::grab_from_orphan(o.range, policy);
+                    if let Some(r) = rest {
+                        st.orphans.push_front(Orphan { range: r, ..o });
+                    }
+                    st.fired = true;
+                    st.free_since[s] = None;
+                    progressed = true;
+                    self.assist_setup(
+                        region, plan, intensity, slots, st, s,
+                        now.max(o.known_at), take, o.donor, true, Some(overhead),
+                    );
+                } else if let Some((vi, kept, stolen)) = pick_victim(&st.pending, policy, now)
+                {
+                    let victim = st.pending[vi];
+                    let vdev = slots[victim.slot];
+                    // Benefit gate: a steal must be *predicted* to land
+                    // the stolen span before the victim would finish it
+                    // anyway. The thief starts cold — MODEL_2's per-
+                    // device cost includes re-moving the span's bytes —
+                    // so on transfer-bound kernels with small noise
+                    // tails the gate (correctly) refuses to fire.
+                    let thief_cost = homp_model::model2::device_cost(
+                        &self.params[slots[s] as usize],
+                        intensity,
+                    )
+                    .time(stolen.len() as f64);
+                    if now + SimSpan::from_secs(thief_cost) >= victim.pred_end {
+                        continue;
+                    }
+                    st.pending[vi].range = kept;
+                    st.pending[vi].pred_end = self.engine.peek_compute_end(
+                        vdev,
+                        &chunk_work(region, kept, intensity),
+                        victim.start,
+                        region.team_sched,
+                    );
+                    st.fired = true;
+                    st.free_since[s] = None;
+                    progressed = true;
+                    self.assist_setup(
+                        region, plan, intensity, slots, st, s, now, stolen, vdev, false, None,
+                    );
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// Move a stolen/adopted span's bytes to assistant `s` and queue its
+    /// compute. A fault during the rescue quarantines the assistant and
+    /// re-orphans the span.
+    #[allow(clippy::too_many_arguments)]
+    fn assist_setup(
+        &mut self,
+        region: &OffloadRegion,
+        plan: &DataPlan,
+        intensity: &KernelIntensity,
+        slots: &[DeviceId],
+        st: &mut AssistState,
+        s: usize,
+        base: SimTime,
+        piece: Range,
+        donor: DeviceId,
+        requeued: bool,
+        overhead: Option<SimSpan>,
+    ) {
+        let dev = slots[s];
+        let cursor = match overhead {
+            Some(o) => self.engine.record_failover(dev, base, o, "assist-grab"),
+            None => base,
+        };
+        let setup = self
+            .fault_transfer(
+                dev,
+                plan.h2d_chunk_bytes(piece.len()),
+                Dir::H2D,
+                cursor,
+                "assist-in",
+                &mut st.summary,
+            )
+            .and_then(|in_done| {
+                self.fault_launch(dev, in_done, "assist-launch", &mut st.summary)
+            });
+        match setup {
+            Ok(ready) => {
+                let pred_end = self.engine.peek_compute_end(
+                    dev,
+                    &chunk_work(region, piece, intensity),
+                    ready,
+                    region.team_sched,
+                );
+                st.pending.push(AssistPiece {
+                    slot: s,
+                    range: piece,
+                    base,
+                    start: ready,
+                    pred_end,
+                    donor: Some(donor),
+                    requeued,
+                });
+            }
+            Err(f) => {
+                st.drop_slot(s, dev, f.at);
+                st.orphans.push_back(Orphan { range: piece, known_at: f.at, donor: dev });
+            }
+        }
     }
 
     /// Multi-stage chunk scheduling with transfer/compute overlap:
@@ -1486,6 +2055,7 @@ impl Runtime {
                         source: None,
                         realized_s: (out_done - grab_at).as_secs(),
                         requeued,
+                        donor: None,
                     });
                     // Grab the next chunk once this transfer is in *and*
                     // the previous compute has started draining —
@@ -1624,6 +2194,7 @@ impl Runtime {
                             source: None,
                             realized_s: (end - base).as_secs(),
                             requeued: false,
+                            donor: None,
                         });
                     }
                     // The sample's out-data drains with the stage-2 data;
@@ -1711,6 +2282,7 @@ impl Runtime {
                         source: (throughputs[s] > 0.0).then_some(PredictionSource::Measured),
                         realized_s: (out_done - barrier).as_secs(),
                         requeued: false,
+                        donor: None,
                     });
                 }
                 Err(f) => {
@@ -1841,7 +2413,7 @@ mod tests {
 
     #[test]
     fn every_algorithm_computes_correctly_and_covers_loop() {
-        for alg in Algorithm::paper_suite() {
+        for alg in Algorithm::extended_suite() {
             let (report, y) = run_axpy(Machine::four_k40(), alg, 10_000);
             check_axpy_result(&y);
             assert_eq!(

@@ -17,6 +17,7 @@
 //! CUTOFF device filtering ([`homp_model::cutoff`]) composes with the
 //! model and profile families.
 
+pub mod assist;
 pub mod block;
 pub mod chunking;
 pub mod model_sched;
@@ -30,6 +31,9 @@ pub const DEFAULT_DYNAMIC_PCT: f64 = 2.0;
 pub const DEFAULT_GUIDED_PCT: f64 = 20.0;
 /// Default stage-1 sample fraction for the profiling algorithms (10%).
 pub const DEFAULT_SAMPLE_PCT: f64 = 10.0;
+/// Default minimum steal size for `WORK_ASSIST`, as a percentage of the
+/// trip count: tails smaller than this are not worth a rescue transfer.
+pub const DEFAULT_ASSIST_PCT: f64 = 5.0;
 
 /// A concrete choice of loop-distribution algorithm with its parameters
 /// — the lowered form of `dist_schedule(target:[…])`.
@@ -76,6 +80,15 @@ pub enum Algorithm {
         /// CUTOFF ratio forwarded to the chosen algorithm.
         cutoff: Option<f64>,
     },
+    /// Work assisting (ROADMAP item 2): MODEL_2 initial shares, then
+    /// devices that drain their share steal the unexecuted tail of the
+    /// predicted straggler, moving only the stolen span's bytes.
+    WorkAssist {
+        /// Smallest stealable tail as a percentage of the trip count.
+        min_assist_pct: f64,
+        /// CUTOFF ratio applied to the initial shares.
+        cutoff: Option<f64>,
+    },
 }
 
 impl Algorithm {
@@ -107,6 +120,29 @@ impl Algorithm {
         ]
     }
 
+    /// The paper's seven algorithms plus the repo's `WORK_ASSIST`
+    /// extension, in table order — the grid used by the extended
+    /// fig5/fig9 experiments.
+    pub fn extended_suite() -> Vec<Algorithm> {
+        let mut suite = Algorithm::paper_suite();
+        suite.push(Algorithm::WorkAssist {
+            min_assist_pct: DEFAULT_ASSIST_PCT,
+            cutoff: None,
+        });
+        suite
+    }
+
+    /// [`Algorithm::extended_suite`] with a CUTOFF ratio applied to the
+    /// algorithms that support it.
+    pub fn extended_suite_with_cutoff(ratio: f64) -> Vec<Algorithm> {
+        let mut suite = Algorithm::paper_suite_with_cutoff(ratio);
+        suite.push(Algorithm::WorkAssist {
+            min_assist_pct: DEFAULT_ASSIST_PCT,
+            cutoff: Some(ratio),
+        });
+        suite
+    }
+
     /// Lower a parsed `dist_schedule` kind. `ALIGN` is not an algorithm
     /// (the loop copies an array's distribution) and returns `None`.
     pub fn from_schedule_kind(
@@ -135,6 +171,10 @@ impl Algorithm {
                 sample_pct: sample_pct.map(|c| c as f64).unwrap_or(DEFAULT_SAMPLE_PCT),
                 cutoff,
             },
+            K::WorkAssist { min_pct } => Algorithm::WorkAssist {
+                min_assist_pct: min_pct.map(|c| c as f64).unwrap_or(DEFAULT_ASSIST_PCT),
+                cutoff,
+            },
         })
     }
 
@@ -153,6 +193,7 @@ impl Algorithm {
                 | Algorithm::ProfileConst { .. }
                 | Algorithm::ProfileModel { .. }
                 | Algorithm::Auto { .. }
+                | Algorithm::WorkAssist { .. }
         )
     }
 
@@ -163,7 +204,8 @@ impl Algorithm {
             | Algorithm::Model2 { cutoff }
             | Algorithm::ProfileConst { cutoff, .. }
             | Algorithm::ProfileModel { cutoff, .. }
-            | Algorithm::Auto { cutoff } => *cutoff,
+            | Algorithm::Auto { cutoff }
+            | Algorithm::WorkAssist { cutoff, .. } => *cutoff,
             _ => None,
         }
     }
@@ -181,7 +223,49 @@ impl Algorithm {
                 Algorithm::ProfileModel { sample_pct, cutoff: Some(ratio) }
             }
             Algorithm::Auto { .. } => Algorithm::Auto { cutoff: Some(ratio) },
+            Algorithm::WorkAssist { min_assist_pct, .. } => {
+                Algorithm::WorkAssist { min_assist_pct, cutoff: Some(ratio) }
+            }
             other => other,
+        }
+    }
+
+    /// A stable lowercase identifier, independent of float formatting —
+    /// safe to use as a CSV column key, map key, or golden-file label
+    /// where `Display` (the paper's `%`/`,` notation) would be fragile.
+    ///
+    /// Float parameters are rendered canonically: the shortest decimal
+    /// form with `.` replaced by `_` (`2.0` → `2`, `0.15` → `c15` for
+    /// cutoffs, which are scaled to percent first).
+    pub fn key(&self) -> String {
+        fn num(v: f64) -> String {
+            // Fixed precision first so float noise (0.15 * 100.0 ==
+            // 15.000000000000002) cannot leak into the key.
+            let s = format!("{v:.4}");
+            s.trim_end_matches('0').trim_end_matches('.').replace('.', "_")
+        }
+        fn cut(c: &Option<f64>) -> String {
+            match c {
+                Some(r) => format!("_c{}", num(r * 100.0)),
+                None => String::new(),
+            }
+        }
+        match self {
+            Algorithm::Block => "block".into(),
+            Algorithm::Dynamic { chunk_pct } => format!("sched_dynamic_{}", num(*chunk_pct)),
+            Algorithm::Guided { chunk_pct } => format!("sched_guided_{}", num(*chunk_pct)),
+            Algorithm::Model1 { cutoff } => format!("model_1_auto{}", cut(cutoff)),
+            Algorithm::Model2 { cutoff } => format!("model_2_auto{}", cut(cutoff)),
+            Algorithm::ProfileConst { sample_pct, cutoff } => {
+                format!("sched_profile_auto_{}{}", num(*sample_pct), cut(cutoff))
+            }
+            Algorithm::ProfileModel { sample_pct, cutoff } => {
+                format!("model_profile_auto_{}{}", num(*sample_pct), cut(cutoff))
+            }
+            Algorithm::Auto { cutoff } => format!("auto{}", cut(cutoff)),
+            Algorithm::WorkAssist { min_assist_pct, cutoff } => {
+                format!("work_assist_{}{}", num(*min_assist_pct), cut(cutoff))
+            }
         }
     }
 }
@@ -213,6 +297,12 @@ impl fmt::Display for Algorithm {
                 None => write!(f, "MODEL_PROFILE_AUTO,{sample_pct}%"),
             },
             Algorithm::Auto { .. } => write!(f, "AUTO"),
+            Algorithm::WorkAssist { min_assist_pct, cutoff } => match cutoff {
+                Some(c) => {
+                    write!(f, "WORK_ASSIST,{min_assist_pct}%,{}%", (c * 100.0).round())
+                }
+                None => write!(f, "WORK_ASSIST,{min_assist_pct}%"),
+            },
         }
     }
 }
@@ -282,6 +372,71 @@ mod tests {
     }
 
     #[test]
+    fn extended_suite_appends_work_assist() {
+        let suite = Algorithm::extended_suite();
+        assert_eq!(suite.len(), 8);
+        assert_eq!(&suite[..7], &Algorithm::paper_suite()[..]);
+        assert_eq!(
+            suite[7],
+            Algorithm::WorkAssist { min_assist_pct: DEFAULT_ASSIST_PCT, cutoff: None }
+        );
+        let cut = Algorithm::extended_suite_with_cutoff(0.15);
+        assert_eq!(cut[7].cutoff(), Some(0.15));
+    }
+
+    #[test]
+    fn work_assist_lowering_and_cutoff() {
+        let a = Algorithm::from_schedule_kind(&ScheduleKind::WorkAssist { min_pct: None }, None)
+            .unwrap();
+        assert_eq!(a, Algorithm::WorkAssist { min_assist_pct: 5.0, cutoff: None });
+        let b = Algorithm::from_schedule_kind(
+            &ScheduleKind::WorkAssist { min_pct: Some(10) },
+            Some(15),
+        )
+        .unwrap();
+        assert_eq!(b, Algorithm::WorkAssist { min_assist_pct: 10.0, cutoff: Some(0.15) });
+        assert!(b.supports_cutoff());
+        assert!(!b.is_multi_stage());
+        assert_eq!(a.with_cutoff(0.2).cutoff(), Some(0.2));
+    }
+
+    #[test]
+    fn keys_are_stable_and_unique() {
+        for suite in [
+            Algorithm::extended_suite(),
+            Algorithm::extended_suite_with_cutoff(0.15),
+        ] {
+            let keys: Vec<String> = suite.iter().map(Algorithm::key).collect();
+            for k in &keys {
+                assert!(
+                    k.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                    "key {k:?} is not a lowercase identifier"
+                );
+            }
+            let mut dedup = keys.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), keys.len(), "duplicate keys in {keys:?}");
+        }
+        // Pinned spellings: goldens and CSV columns depend on these.
+        assert_eq!(Algorithm::Block.key(), "block");
+        assert_eq!(Algorithm::Dynamic { chunk_pct: 2.0 }.key(), "sched_dynamic_2");
+        assert_eq!(Algorithm::Model2 { cutoff: Some(0.15) }.key(), "model_2_auto_c15");
+        assert_eq!(
+            Algorithm::WorkAssist { min_assist_pct: 5.0, cutoff: None }.key(),
+            "work_assist_5"
+        );
+        assert_eq!(
+            Algorithm::WorkAssist { min_assist_pct: 5.0, cutoff: Some(0.15) }.key(),
+            "work_assist_5_c15"
+        );
+        assert_eq!(
+            Algorithm::WorkAssist { min_assist_pct: 2.5, cutoff: None }.key(),
+            "work_assist_2_5"
+        );
+    }
+
+    #[test]
     fn display_uses_paper_notation() {
         assert_eq!(Algorithm::Dynamic { chunk_pct: 2.0 }.to_string(), "SCHED_DYNAMIC,2%");
         assert_eq!(
@@ -291,6 +446,14 @@ mod tests {
         assert_eq!(
             Algorithm::Model1 { cutoff: Some(0.15) }.to_string(),
             "MODEL_1_AUTO,-1,15%"
+        );
+        assert_eq!(
+            Algorithm::WorkAssist { min_assist_pct: 5.0, cutoff: None }.to_string(),
+            "WORK_ASSIST,5%"
+        );
+        assert_eq!(
+            Algorithm::WorkAssist { min_assist_pct: 5.0, cutoff: Some(0.15) }.to_string(),
+            "WORK_ASSIST,5%,15%"
         );
     }
 }

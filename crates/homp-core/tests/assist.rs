@@ -1,0 +1,159 @@
+//! Work-assist behaviour: parity with MODEL_2 when steals cannot fire,
+//! actual tail-stealing on irregular loops, and orphan adoption after a
+//! mid-run dropout — all under the exactly-once harness.
+
+mod common;
+
+use common::{assert_decisions_partition, CoverageKernel};
+use homp_core::{Algorithm, FaultConfig, OffloadRegion, Runtime};
+use homp_lang::{DistPolicy, MapDir};
+use homp_sim::{DeviceId, FaultPlan, Machine};
+
+fn region(n: u64, machine: &Machine, alg: Algorithm) -> OffloadRegion {
+    region_builder(n, machine, alg).build()
+}
+
+fn region_builder(
+    n: u64,
+    machine: &Machine,
+    alg: Algorithm,
+) -> homp_core::OffloadRegionBuilder {
+    let devices: Vec<DeviceId> = (0..machine.devices.len() as DeviceId).collect();
+    OffloadRegion::builder("axpy")
+        .trip_count(n)
+        .devices(devices)
+        .algorithm(alg)
+        .map_1d("x", MapDir::To, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+        .map_1d("y", MapDir::ToFrom, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+}
+
+fn run(mut rt: Runtime, machine: &Machine, n: u64, alg: Algorithm) -> (homp_core::OffloadReport, CoverageKernel) {
+    rt.set_decision_log(true);
+    let mut k = CoverageKernel::new(n);
+    let report = rt.offload(&region(n, machine, alg), &mut k).unwrap();
+    (report, k)
+}
+
+/// With `min_assist_pct = 100` no tail is ever big enough to steal, so
+/// a fault-free WORK_ASSIST run must delegate to the static MODEL_2
+/// path and produce a byte-identical trace — the "no assists" golden.
+#[test]
+fn disabled_steals_give_byte_identical_model2_traces() {
+    let n = 80_000u64;
+    for machine in [Machine::four_k40(), Machine::full_node()] {
+        for cutoff in [None, Some(0.15)] {
+            for seed in [7u64, 42] {
+                let assist = Algorithm::WorkAssist { min_assist_pct: 100.0, cutoff };
+                let base = Algorithm::Model2 { cutoff };
+                let (ra, ka) = run(Runtime::new(machine.clone(), seed), &machine, n, assist);
+                let (rb, kb) = run(Runtime::new(machine.clone(), seed), &machine, n, base);
+                let ctx = format!("machine={} cutoff={cutoff:?} seed={seed}", machine.name);
+                assert_eq!(
+                    ra.trace.to_csv(),
+                    rb.trace.to_csv(),
+                    "{ctx}: no-assist trace must match MODEL_2 byte for byte"
+                );
+                assert_eq!(ra.makespan, rb.makespan, "{ctx}");
+                assert_eq!(ra.counts, rb.counts, "{ctx}");
+                assert_eq!(ka.hits, kb.hits, "{ctx}");
+                assert!(
+                    ra.decisions.iter().all(|d| d.stage != "assist"),
+                    "{ctx}: no assist decisions may fire"
+                );
+            }
+        }
+    }
+}
+
+/// An irregular loop (linearly ramping iteration cost) breaks MODEL_2's
+/// uniform-cost shares: the device holding the expensive tail straggles,
+/// the early finishers steal from it, and the rescue shows up in the
+/// decision log with a donor — while still covering the loop exactly
+/// once and beating the static schedule. The kernel is compute-bound
+/// (§IV-A.2's irregular loops) so the imbalance, not transfer time,
+/// dominates the makespan.
+#[test]
+fn stragglers_get_assisted_on_irregular_loops() {
+    let n = 200_000u64;
+    let machine = Machine::four_k40();
+    let ramp: fn(u64) -> f64 = |i| 1.0 + 4.0 * (i as f64 / 200_000.0);
+    let compute_bound = homp_model::KernelIntensity {
+        flops_per_iter: 50_000.0,
+        mem_elems_per_iter: 3.0,
+        data_elems_per_iter: 3.0,
+        elem_bytes: 8.0,
+    };
+    let run_with = |alg: Algorithm| {
+        let mut rt = Runtime::new(machine.clone(), 42);
+        rt.set_decision_log(true);
+        let mut k = CoverageKernel::with_intensity(n, compute_bound);
+        let r = region_builder(n, &machine, alg).cost_profile(ramp).build();
+        let report = rt.offload(&r, &mut k).unwrap();
+        (report, k)
+    };
+
+    let (assisted, k) = run_with(Algorithm::WorkAssist { min_assist_pct: 5.0, cutoff: None });
+    let (static_run, _) = run_with(Algorithm::Model2 { cutoff: None });
+
+    k.assert_exactly_once("irregular work-assist");
+    assert_decisions_partition(&assisted, n, "irregular work-assist");
+
+    let assists: Vec<_> =
+        assisted.decisions.iter().filter(|d| d.stage == "assist").collect();
+    assert!(!assists.is_empty(), "the ramp must provoke at least one steal");
+    for a in &assists {
+        let donor = a.donor.expect("assist decisions must name their donor");
+        assert_ne!(donor, a.device, "no device assists itself");
+        assert!(!a.requeued, "steals are rescues of live devices, not requeues");
+        assert!(a.predicted_s.is_some(), "assists log the model's prediction");
+    }
+    assert!(
+        assisted.makespan < static_run.makespan,
+        "assisting the straggler must beat the static schedule \
+         ({:?} vs {:?})",
+        assisted.makespan,
+        static_run.makespan
+    );
+}
+
+/// A device dropping out mid-run under WORK_ASSIST: its unexecuted tail
+/// is adopted by the surviving peers through the assist path (not the
+/// serial requeue), every iteration still runs exactly once, and the
+/// decision log records the handoff with the dead device as donor.
+#[test]
+fn dropped_device_tail_is_adopted_by_assisting_peers_exactly_once() {
+    let n = 100_000u64;
+    let machine = Machine::four_k40();
+    let alg = Algorithm::WorkAssist { min_assist_pct: 5.0, cutoff: None };
+    let healthy = {
+        let mut rt = Runtime::new(machine.clone(), 42);
+        let mut k = CoverageKernel::new(n);
+        rt.offload(&region(n, &machine, alg), &mut k).unwrap().makespan.as_secs()
+    };
+
+    let plan = FaultPlan::new(9).with_dropout_at(2, healthy * 0.5);
+    let mut rt = Runtime::with_fault_config(machine.clone(), 42, FaultConfig::new(plan));
+    rt.set_decision_log(true);
+    let mut k = CoverageKernel::new(n);
+    let report = rt.offload(&region(n, &machine, alg), &mut k).unwrap();
+
+    assert_eq!(report.faults.dropouts, vec![2], "device 2 must drop");
+    k.assert_exactly_once("fault x assist");
+    assert_decisions_partition(&report, n, "fault x assist");
+    assert!(report.faults.requeued_iters > 0, "the orphaned tail is accounted as requeued");
+
+    // The handoff is visible: assist decisions executed by survivors,
+    // donated by the dead device.
+    let adoptions: Vec<_> = report
+        .decisions
+        .iter()
+        .filter(|d| d.stage == "assist" && d.requeued)
+        .collect();
+    assert!(!adoptions.is_empty(), "the orphaned tail must be adopted, not serially requeued");
+    for a in &adoptions {
+        assert_eq!(a.donor, Some(2), "adoptions name the dead device as donor");
+        assert_ne!(a.device, 2, "the dead device cannot execute its own tail");
+    }
+    let adopted: u64 = adoptions.iter().map(|d| d.range.len()).sum();
+    assert!(adopted > 0 && adopted <= report.faults.requeued_iters);
+}

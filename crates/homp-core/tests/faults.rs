@@ -49,7 +49,10 @@ fn run_counted(
 #[test]
 fn mid_region_dropout_executes_every_iteration_exactly_once_per_algorithm() {
     let n = 100_000u64;
-    for alg in Algorithm::paper_suite() {
+    // The extended suite adds WORK_ASSIST to the paper's seven: its
+    // recovery path (orphan adoption by assisting peers) must satisfy
+    // the same exactly-once and failover-accounting contract.
+    for alg in Algorithm::extended_suite() {
         // Find the healthy makespan, then kill device 2 halfway through.
         let healthy = run_counted(Runtime::new(Machine::four_k40(), 42), n, alg)
             .0

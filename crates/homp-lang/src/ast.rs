@@ -442,6 +442,12 @@ pub enum ScheduleKind {
         /// Stage-1 sample size percent (default 10%).
         sample_pct: Option<u64>,
     },
+    /// `WORK_ASSIST[,min%]` — model-derived initial shares with
+    /// dynamic tail-stealing rescue of stragglers.
+    WorkAssist {
+        /// Smallest stealable tail percent (default 5%).
+        min_pct: Option<u64>,
+    },
 }
 
 impl fmt::Display for ScheduleKind {
@@ -473,6 +479,10 @@ impl fmt::Display for ScheduleKind {
             ScheduleKind::ModelProfile { sample_pct } => match sample_pct {
                 Some(s) => write!(f, "MODEL_PROFILE_AUTO,{s}%"),
                 None => write!(f, "MODEL_PROFILE_AUTO"),
+            },
+            ScheduleKind::WorkAssist { min_pct } => match min_pct {
+                Some(m) => write!(f, "WORK_ASSIST,{m}%"),
+                None => write!(f, "WORK_ASSIST"),
             },
         }
     }

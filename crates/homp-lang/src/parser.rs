@@ -65,6 +65,7 @@ pub fn parse_algorithm_notation(src: &str) -> Result<(ScheduleKind, Option<u64>)
             ScheduleKind::ProfileAuto { sample_pct: chunk }
         }
         "MODEL_PROFILE_AUTO" => ScheduleKind::ModelProfile { sample_pct: chunk },
+        "WORK_ASSIST" => ScheduleKind::WorkAssist { min_pct: chunk },
         other => {
             return Err(ParseError {
                 offset: 0,
@@ -517,6 +518,9 @@ impl Parser {
             "MODEL_PROFILE_AUTO" => {
                 Ok(ScheduleKind::ModelProfile { sample_pct: trailing_pct(self)? })
             }
+            "WORK_ASSIST" => {
+                Ok(ScheduleKind::WorkAssist { min_pct: trailing_pct(self)? })
+            }
             other => Err(self.err(format!("unknown schedule kind `{other}`"))),
         }
     }
@@ -844,6 +848,12 @@ mod tests {
                 ScheduleKind::ModelProfile { sample_pct: Some(10) },
                 Some(15),
             ),
+            ("WORK_ASSIST", ScheduleKind::WorkAssist { min_pct: None }, None),
+            (
+                "WORK_ASSIST,5%,15%",
+                ScheduleKind::WorkAssist { min_pct: Some(5) },
+                Some(15),
+            ),
         ];
         for (src, kind, cutoff) in cases {
             let (k, c) = parse_algorithm_notation(src).unwrap();
@@ -858,6 +868,7 @@ mod tests {
             "#pragma omp parallel target device(*) map(tofrom: y[0:n] partition([BLOCK]))",
             "#pragma omp parallel for distribute dist_schedule(target:[AUTO])",
             "#pragma omp parallel for target device(0:2, 4:*:HOMP_DEVICE_NVGPU) collapse(2) reduction(+:error) distribute dist_schedule(target:[SCHED_DYNAMIC,2%], CUTOFF(15%))",
+            "#pragma omp parallel for distribute dist_schedule(target:[WORK_ASSIST,5%], CUTOFF(15%))",
             "#pragma omp halo_exchange (uold)",
             "#pragma omp parallel target data device(*) map(alloc: uold[0:n][0:m] partition([ALIGN(loop1)], FULL) halo(1,))",
         ];

@@ -440,7 +440,34 @@ impl Engine {
             return Ok(ready);
         }
         let seq = self.next_seq(dev);
-        let span = match sched {
+        let span = self.compute_span_at(dev, work, seq, sched);
+        let start = ready.max(self.compute_free[dev as usize]);
+        let end = start + span;
+        if check_faults {
+            if let Some(fault) = self.dropout_check(dev, start, end, work.iters, label) {
+                return Err(fault);
+            }
+        }
+        self.compute_free[dev as usize] = end;
+        if !self.overlap {
+            self.h2d_free[dev as usize] = self.h2d_free[dev as usize].max(end);
+            self.d2h_free[dev as usize] = self.d2h_free[dev as usize].max(end);
+        }
+        self.trace.record(dev, OpKind::Kernel, start, end, work.iters, label);
+        Ok(end)
+    }
+
+    /// The noisy duration the compute op with sequence number `seq`
+    /// gets on `dev` — the pricing shared by the committing path and
+    /// [`Engine::peek_compute_end`].
+    fn compute_span_at(
+        &self,
+        dev: DeviceId,
+        work: &ChunkWork<'_>,
+        seq: u64,
+        sched: TeamSched,
+    ) -> SimSpan {
+        match sched {
             TeamSched::Aggregate => {
                 let jitter = self.noise.factor(dev, seq);
                 self.pure_compute_span(dev, work).scale(jitter)
@@ -489,21 +516,30 @@ impl Engine {
                 let worst = team_free.iter().fold(0.0f64, |a, &b| a.max(b));
                 SimSpan::from_secs(worst)
             }
-        };
-        let start = ready.max(self.compute_free[dev as usize]);
-        let end = start + span;
-        if check_faults {
-            if let Some(fault) = self.dropout_check(dev, start, end, work.iters, label) {
-                return Err(fault);
-            }
         }
-        self.compute_free[dev as usize] = end;
-        if !self.overlap {
-            self.h2d_free[dev as usize] = self.h2d_free[dev as usize].max(end);
-            self.d2h_free[dev as usize] = self.d2h_free[dev as usize].max(end);
+    }
+
+    /// Price `dev`'s *next* compute op without committing anything:
+    /// the completion instant [`Engine::try_compute_teams`] would
+    /// return for the same arguments right now — same noise draw
+    /// (the next op consumes sequence number `op_seq + 1` either
+    /// way), same team schedule, same calendar state. Faults are not
+    /// consulted: this is the proxy's *prediction*, used by the
+    /// work-assisting scheduler to decide steals before it commits.
+    /// Exact as long as no other op commits on `dev` in between.
+    pub fn peek_compute_end(
+        &self,
+        dev: DeviceId,
+        work: &ChunkWork<'_>,
+        ready: SimTime,
+        sched: TeamSched,
+    ) -> SimTime {
+        if work.iters == 0 {
+            return ready;
         }
-        self.trace.record(dev, OpKind::Kernel, start, end, work.iters, label);
-        Ok(end)
+        let seq = self.op_seq[dev as usize] + 1;
+        let span = self.compute_span_at(dev, work, seq, sched);
+        ready.max(self.compute_free[dev as usize]) + span
     }
 
     /// Dropout check shared by compute and launch: an operation that
@@ -949,6 +985,41 @@ mod team_tests {
         let dynamic = mean(TeamSched::Dynamic);
         assert!(block > agg, "block {block} should exceed aggregate {agg} on average");
         assert!(dynamic < block, "dynamic {dynamic} should beat block {block}");
+    }
+
+    #[test]
+    fn peek_compute_end_matches_the_subsequent_commit() {
+        // The peek is the committing path minus the commit: after some
+        // history on the device (so op_seq is non-trivial), peeking and
+        // then committing the same op must agree to the bit, for every
+        // team schedule and a noisy model.
+        let k = work_intensity();
+        for sched in [TeamSched::Aggregate, TeamSched::Block, TeamSched::Dynamic] {
+            let mut e = Engine::new(Machine::four_k40(), NoiseModel::new(7, 0.05));
+            // History: a launch, a transfer and a compute shift the
+            // sequence counters and the calendar.
+            let t0 = e.launch(0, SimTime::ZERO, "warm");
+            let t1 = e.transfer(0, 1 << 20, Dir::H2D, t0, "warm-in");
+            let t2 = e.compute(0, &ChunkWork::new(10_000, &k), t1, "warm");
+            let work = ChunkWork::new(123_456, &k);
+            let peeked = e.peek_compute_end(0, &work, t2, sched);
+            let committed = e.compute_teams(0, &work, t2, "real", sched);
+            assert_eq!(peeked, committed, "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn peek_compute_end_does_not_perturb_the_engine() {
+        let k = work_intensity();
+        let mut a = Engine::new(Machine::four_k40(), NoiseModel::new(3, 0.05));
+        let mut b = a.clone();
+        // Peek many times on one engine, never on the other.
+        for i in 0..5 {
+            let _ = a.peek_compute_end(0, &ChunkWork::new(1000 + i, &k), SimTime::ZERO, TeamSched::Aggregate);
+        }
+        let ea = a.compute(0, &ChunkWork::new(5_000, &k), SimTime::ZERO, "x");
+        let eb = b.compute(0, &ChunkWork::new(5_000, &k), SimTime::ZERO, "x");
+        assert_eq!(ea, eb, "peeking must be free of side effects");
     }
 
     #[test]
