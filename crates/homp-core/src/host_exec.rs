@@ -105,6 +105,23 @@ where
     HostReport { counts, chunks, wall: start.elapsed() }
 }
 
+/// Serial walk over leftover ranges — the degraded-mode host fallback
+/// for offloads whose devices all quarantined. Unlike the parallel
+/// runners above, `body` is `FnMut`, so a [`crate::runtime::LoopKernel`]
+/// borrowed mutably by the runtime can execute here without `Sync`.
+/// Returns the number of iterations executed.
+pub fn run_leftover<F: FnMut(Range)>(ranges: &[Range], mut body: F) -> u64 {
+    let mut total = 0u64;
+    for &r in ranges {
+        if r.is_empty() {
+            continue;
+        }
+        total += r.len();
+        body(r);
+    }
+    total
+}
+
 /// Dynamic chunking over real threads. `body(worker, range)` must
 /// tolerate concurrent invocation on disjoint ranges (see
 /// [`crate::disjoint::DisjointMut`]).

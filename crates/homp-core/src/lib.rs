@@ -44,6 +44,7 @@ pub mod region;
 pub mod report;
 pub mod runtime;
 pub mod sched;
+pub mod testing;
 
 pub use api::{DataRegion, Homp, HompError};
 pub use compile::{
@@ -61,4 +62,5 @@ pub use runtime::{
     DataRegionReport, FaultConfig, FaultSummary, FnKernel, LoopKernel, OffloadError,
     OffloadReport, RetryPolicy, Runtime, RuntimeConfig, UpdateReport,
 };
+pub use sched::health::{HealthPolicy, HealthState, HealthTracker, HealthTransition};
 pub use sched::Algorithm;

@@ -58,7 +58,9 @@ pub struct ChunkDecision {
     /// Iteration range of the chunk.
     pub range: Range,
     /// Which scheduling stage placed it: `"static"`, `"chunk"`,
-    /// `"sample"`, `"stage2"`, `"requeue"` or `"assist"`.
+    /// `"sample"`, `"stage2"`, `"requeue"`, `"assist"`, `"health"`
+    /// (a lifecycle transition, empty range) or `"host"` (host-fallback
+    /// execution after every device quarantined).
     pub stage: &'static str,
     /// For `"assist"` decisions: the device the range was stolen from
     /// (the straggler or quarantined donor). `None` everywhere else.
@@ -75,6 +77,10 @@ pub struct ChunkDecision {
     /// Whether this chunk was re-run on a survivor after its original
     /// device failed.
     pub requeued: bool,
+    /// Free-form annotation: health-lifecycle transitions
+    /// (`"healthy->degraded"`, `"quarantined->probation"`, …) and the
+    /// host-fallback marker. `None` for ordinary chunk placements.
+    pub note: Option<&'static str>,
 }
 
 impl ChunkDecision {
@@ -151,6 +157,9 @@ pub struct RunReport {
     pub dropouts: Vec<DeviceId>,
     /// Chunks re-run on survivors.
     pub requeued_chunks: u64,
+    /// Iterations executed by the host fallback after every device
+    /// quarantined (zero on any run that kept at least one device).
+    pub host_iters: u64,
 }
 
 impl RunReport {
@@ -177,6 +186,7 @@ impl RunReport {
             transient_retries: report.faults.transient_retries,
             dropouts: report.faults.dropouts.clone(),
             requeued_chunks: report.faults.requeued_chunks,
+            host_iters: report.faults.host_iters,
             metrics,
         }
     }
@@ -206,6 +216,13 @@ impl RunReport {
                 out,
                 "faults: {} retries, dropouts {:?}, {} chunks requeued",
                 self.transient_retries, self.dropouts, self.requeued_chunks
+            );
+        }
+        if self.host_iters > 0 {
+            let _ = writeln!(
+                out,
+                "host fallback executed {} iterations (all devices quarantined)",
+                self.host_iters
             );
         }
         let _ = writeln!(
@@ -254,11 +271,18 @@ impl RunReport {
         let _ = writeln!(out, "  \"imbalance_pct\": {:.4},", self.imbalance_pct);
         let _ = writeln!(out, "  \"load_balance_ratio\": {:.6},", self.load_balance_ratio);
         let _ = writeln!(out, "  \"flops_per_iter\": {:.3},", self.flops_per_iter);
+        // `host_iters` is emitted only when the host fallback ran, so
+        // fault-free reports stay byte-identical to the existing goldens.
+        let host = if self.host_iters > 0 {
+            format!(", \"host_iters\": {}", self.host_iters)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
             "  \"faults\": {{\"transient_retries\": {}, \"dropouts\": {:?}, \
-             \"requeued_chunks\": {}}},",
-            self.transient_retries, self.dropouts, self.requeued_chunks
+             \"requeued_chunks\": {}{}}},",
+            self.transient_retries, self.dropouts, self.requeued_chunks, host
         );
         match &self.prediction {
             Some(p) => {
@@ -321,6 +345,9 @@ impl RunReport {
             if let Some(donor) = d.donor {
                 let _ = write!(out, "\"donor\": {donor}, ");
             }
+            if let Some(note) = d.note {
+                let _ = write!(out, "\"note\": \"{note}\", ");
+            }
             match (d.predicted_s, d.source) {
                 (Some(p), Some(src)) => {
                     let _ = write!(
@@ -356,6 +383,7 @@ mod tests {
             realized_s: realized,
             requeued: false,
             donor: None,
+            note: None,
         }
     }
 

@@ -24,14 +24,17 @@ use crate::region::Range;
 use crate::report::{ChunkDecision, PredictionSource, RunReport};
 use crate::sched::assist::{self, StealPolicy};
 use crate::sched::chunking::{ChunkPolicy, ChunkQueue, DynamicChunks, GuidedChunks};
+use crate::sched::health::{
+    transition_note, HealthPolicy, HealthState, HealthTracker, HealthTransition,
+};
 use crate::sched::model_sched::{model1_plan, model2_plan, throughput_plan, ModelPlan};
 use crate::sched::profile_sched::{const_sample_counts, measured_throughput, model_sample_counts};
 use crate::sched::{block, Algorithm};
 use homp_model::heuristics::{classify, select_algorithm, ClassThresholds};
 use homp_model::{DeviceParams, KernelIntensity};
 use homp_sim::{
-    profile_machine, ChunkWork, DeviceId, Dir, Engine, Fault, FaultPlan, Machine, MemorySpace,
-    NoiseModel, SimSpan, SimTime, Trace, TransferStats,
+    profile_device, profile_machine, ChunkWork, DeviceId, Dir, Engine, Fault, FaultKind,
+    FaultPlan, Machine, MemorySpace, NoiseModel, SimSpan, SimTime, Trace, TransferStats,
 };
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -181,6 +184,38 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// Set the retry budget (0 disables retries entirely: the first
+    /// transient fault quarantines the device).
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Set the backoff before the first retry, microseconds.
+    #[must_use]
+    pub fn with_base_backoff_us(mut self, us: f64) -> Self {
+        self.base_backoff_us = us;
+        self
+    }
+
+    /// Set the per-retry backoff multiplier. Values below 1.0 shrink
+    /// the backoff each retry instead of growing it.
+    #[must_use]
+    pub fn with_multiplier(mut self, multiplier: f64) -> Self {
+        self.multiplier = multiplier;
+        self
+    }
+
+    /// Set the backoff ceiling, microseconds.
+    #[must_use]
+    pub fn with_max_backoff_us(mut self, us: f64) -> Self {
+        self.max_backoff_us = us;
+        self
+    }
+}
+
 /// Fault handling configuration for the runtime: what to inject
 /// (the simulator-side [`FaultPlan`]) and how the proxies respond.
 #[derive(Debug, Clone, PartialEq)]
@@ -196,13 +231,22 @@ pub struct FaultConfig {
 
 impl FaultConfig {
     /// No injection: offloads behave exactly as without a config.
+    #[must_use]
     pub fn none() -> Self {
         Self::new(FaultPlan::none())
     }
 
     /// Config around a fault plan, with default retry policy.
+    #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
         Self { plan, retry: RetryPolicy::default(), requeue_overhead_us: 20.0 }
+    }
+
+    /// Replace the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Whether the plan can ever produce a fault.
@@ -228,12 +272,19 @@ pub struct FaultSummary {
     pub requeued_chunks: u64,
     /// Iterations re-run on survivors.
     pub requeued_iters: u64,
+    /// Iterations executed on the host after every device quarantined
+    /// (the degraded-mode fallback). These are *not* counted in the
+    /// report's per-slot `counts`.
+    pub host_iters: u64,
 }
 
 impl FaultSummary {
     /// Whether any fault was observed.
     pub fn any(&self) -> bool {
-        self.transient_retries > 0 || !self.dropouts.is_empty() || self.requeued_chunks > 0
+        self.transient_retries > 0
+            || !self.dropouts.is_empty()
+            || self.requeued_chunks > 0
+            || self.host_iters > 0
     }
 }
 
@@ -384,6 +435,24 @@ impl AssistState {
     }
 }
 
+/// A health-lifecycle transition rendered as a decision-log entry:
+/// stage `"health"`, empty range (it places no work), zero realized
+/// time, with the transition in the `note` field.
+fn health_decision(tr: &HealthTransition) -> ChunkDecision {
+    ChunkDecision {
+        slot: tr.slot,
+        device: tr.device,
+        range: Range::EMPTY,
+        stage: "health",
+        predicted_s: None,
+        source: None,
+        realized_s: 0.0,
+        requeued: false,
+        donor: None,
+        note: Some(transition_note(tr.from, tr.to)),
+    }
+}
+
 /// The next piece the assist commit loop should retire: earliest
 /// predicted finish, ties broken by slot for determinism.
 fn next_pending(pending: &[AssistPiece]) -> Option<usize> {
@@ -502,18 +571,21 @@ impl RuntimeConfig {
     }
 
     /// Noise seed.
+    #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Noise amplitude (fraction, e.g. `0.06` for ±6%).
+    #[must_use]
     pub fn noise(mut self, amplitude: f64) -> Self {
         self.noise = Some(amplitude);
         self
     }
 
     /// Disable noise entirely (exactness tests, ablations).
+    #[must_use]
     pub fn noiseless(mut self) -> Self {
         self.noise = None;
         self
@@ -521,24 +593,28 @@ impl RuntimeConfig {
 
     /// Give the models microbenchmark-profiled machine constants instead
     /// of datasheet ones.
+    #[must_use]
     pub fn profiled_params(mut self) -> Self {
         self.profiled_params = true;
         self
     }
 
     /// Install fault injection.
+    #[must_use]
     pub fn faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
         self
     }
 
     /// Enable the per-chunk scheduler decision log.
+    #[must_use]
     pub fn decision_log(mut self, on: bool) -> Self {
         self.decision_log = on;
         self
     }
 
     /// Disable DMA/compute overlap (ablation).
+    #[must_use]
     pub fn no_overlap(mut self) -> Self {
         self.overlap = false;
         self
@@ -1127,6 +1203,66 @@ impl Runtime {
         report
     }
 
+    /// Peak host FLOP rate assumed by the fallback pricing, FLOP/s — a
+    /// deliberately pessimistic single-socket figure: the fallback is a
+    /// last resort, not a competitive executor.
+    const HOST_FALLBACK_FLOPS: f64 = 100e9;
+    /// Host memory bandwidth assumed by the fallback pricing, B/s.
+    const HOST_FALLBACK_BW: f64 = 40e9;
+
+    /// Degraded-mode host fallback: execute `ranges` serially on the
+    /// host via [`crate::host_exec::run_leftover`], starting on the
+    /// virtual clock at `start` (when the last quarantine became
+    /// public). Virtual cost is priced by a host roofline over the
+    /// kernel's intensity — never by wall clock, so runs stay
+    /// deterministic. No trace events are recorded: the trace belongs
+    /// to devices (its breakdown asserts device ids), and the host has
+    /// none. Returns the virtual completion time.
+    fn host_fallback(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+        ranges: &[Range],
+        start: SimTime,
+        summary: &mut FaultSummary,
+    ) -> SimTime {
+        let intensity = kernel.intensity();
+        let flops_s = intensity.flops_per_iter / Self::HOST_FALLBACK_FLOPS;
+        let bytes_s =
+            intensity.mem_elems_per_iter * intensity.elem_bytes / Self::HOST_FALLBACK_BW;
+        let per_iter = flops_s.max(bytes_s);
+        let mut cursor = start;
+        let mut decisions: Vec<ChunkDecision> = Vec::new();
+        let total = crate::host_exec::run_leftover(ranges, |r| {
+            kernel.execute(r);
+            // Weight irregular loops the same way the device path does:
+            // the cost profile sampled at the chunk midpoint.
+            let weight = match region.cost_profile {
+                Some(f) => f((r.start + r.end) / 2),
+                None => 1.0,
+            };
+            let end = cursor + SimSpan::from_secs(per_iter * weight * r.len() as f64);
+            decisions.push(ChunkDecision {
+                slot: 0,
+                device: region.devices[0],
+                range: r,
+                stage: "host",
+                predicted_s: None,
+                source: None,
+                realized_s: (end - cursor).as_secs(),
+                requeued: true,
+                donor: None,
+                note: Some("host-fallback"),
+            });
+            cursor = end;
+        });
+        for d in decisions {
+            self.note(d);
+        }
+        summary.host_iters += total;
+        cursor
+    }
+
     /// Run a fallible engine operation with capped exponential backoff
     /// on transient faults. Permanent faults and exhausted retries
     /// surface as `Err` — the caller quarantines the device.
@@ -1307,11 +1443,6 @@ impl Runtime {
             if total == 0 {
                 return Ok(());
             }
-            let survivors: Vec<usize> =
-                (0..slots.len()).filter(|&s| !quarantined[s]).collect();
-            if survivors.is_empty() {
-                return Err(OffloadError::AllDevicesFailed { unexecuted: total });
-            }
             // The failure becomes public knowledge once every victim's
             // proxy has reported in; survivors cannot react earlier.
             let known_at = completions
@@ -1320,6 +1451,16 @@ impl Runtime {
                 .filter(|(_, &q)| q)
                 .map(|(c, _)| *c)
                 .fold(SimTime::ZERO, SimTime::max);
+            let survivors: Vec<usize> =
+                (0..slots.len()).filter(|&s| !quarantined[s]).collect();
+            if survivors.is_empty() {
+                // Every device is gone: the host executes what is left
+                // instead of erroring — degraded but correct.
+                let ranges: Vec<Range> = failed.drain(..).collect();
+                let end = self.host_fallback(region, kernel, &ranges, known_at, summary);
+                completions[0] = completions[0].max(end);
+                return Ok(());
+            }
             let shares = block::block_counts(total, survivors.len());
             let mut next_failed: VecDeque<Range> = VecDeque::new();
             for (k, &s) in survivors.iter().enumerate() {
@@ -1369,6 +1510,7 @@ impl Runtime {
                                 realized_s: (out_done - cursor).as_secs(),
                                 requeued: true,
                                 donor: None,
+                                note: None,
                             });
                             cursor = out_done;
                         }
@@ -1470,6 +1612,7 @@ impl Runtime {
                         realized_s: (out_done - base_ready[s]).as_secs(),
                         requeued: false,
                         donor: None,
+                        note: None,
                     });
                 }
                 Err(f) => {
@@ -1775,6 +1918,7 @@ impl Runtime {
                             realized_s,
                             requeued: dp.piece.requeued,
                             donor: dp.piece.donor,
+                            note: None,
                         });
                     }
                 }
@@ -1934,6 +2078,18 @@ impl Runtime {
     /// Multi-stage chunk scheduling with transfer/compute overlap:
     /// proxies grab chunks from the shared queue at their virtual-time
     /// availability, double-buffering one transfer ahead.
+    ///
+    /// When fault injection is configured, a [`HealthTracker`] rides the
+    /// chunk loop (only here — static paths keep the simpler
+    /// requeue-on-dropout recovery of [`Runtime::recover`]): degraded
+    /// devices get shrunken chunks (the sliced-off tail goes to a
+    /// deferred lane any device can pick up), quarantined devices are
+    /// probed on a doubling interval and — when the probe lands, the
+    /// remaining work passes the WORK_ASSIST benefit gate, and a
+    /// re-profile refreshes the device's model constants — reintegrated
+    /// on probation with a reduced share until a clean streak graduates
+    /// them. Without a fault config none of this machinery runs, so
+    /// no-fault schedules stay byte-identical.
     #[allow(clippy::too_many_arguments)]
     fn run_chunked(
         &mut self,
@@ -1962,6 +2118,23 @@ impl Runtime {
         let mut quarantined = vec![false; n];
         let mut summary = FaultSummary::default();
         let overhead = SimSpan::from_micros(self.faults.requeue_overhead_us);
+
+        // Health lifecycle: active only under a fault config, so
+        // fault-free runs issue exactly the op sequence they always did.
+        let health_on = !self.faults.is_none();
+        let mut health = HealthTracker::new(n, HealthPolicy::default());
+        let steal = StealPolicy::for_region(region, crate::sched::DEFAULT_ASSIST_PCT);
+        // Per-slot recovery-probe budget and current wait (doubles after
+        // each failed probe). The budget decrements per *attempt*, so a
+        // device that reintegrates and faults again cannot ping-pong
+        // forever.
+        let mut probe_budget = vec![health.policy().max_probes; n];
+        let mut probe_wait =
+            vec![SimSpan::from_micros(health.policy().probe_interval_us); n];
+        // Tails sliced off shrunken (degraded/probation) chunks; served
+        // before fresh queue grabs, by any device.
+        let mut deferred: VecDeque<Range> = VecDeque::new();
+        let mut extra_chunks = 0u64;
 
         // Min-heap of (next grab time, slot); BinaryHeap is a max-heap so
         // order by Reverse.
@@ -2008,13 +2181,92 @@ impl Runtime {
                     if !region.parallel_offload {
                         serial_cursor = f.at;
                     }
+                    if health_on {
+                        if let Some(tr) = health.quarantine(s, dev, f.at) {
+                            self.note(health_decision(&tr));
+                        }
+                        if probe_budget[s] > 0 {
+                            heap.push(std::cmp::Reverse((f.at + probe_wait[s], s)));
+                        }
+                    }
                 }
             }
         }
 
         while let Some(std::cmp::Reverse((grab_at, s))) = heap.pop() {
-            let Some((chunk, requeued)) = queue.grab_with_origin(policy) else { break };
             let dev = slots[s];
+
+            // A quarantined slot in the heap is a recovery probe, not a
+            // chunk grab.
+            if quarantined[s] {
+                if probe_budget[s] == 0 {
+                    continue;
+                }
+                probe_budget[s] -= 1;
+                let left: u64 =
+                    queue.remaining() + deferred.iter().map(|r| r.len()).sum::<u64>();
+                if left == 0 {
+                    continue;
+                }
+                match self.engine.try_launch(dev, grab_at, "health-probe") {
+                    Ok(t) => {
+                        // Benefit gate (the WORK_ASSIST steal math): a
+                        // comeback must have at least a minimum share's
+                        // worth of work left to earn, else setup costs
+                        // outweigh it and the device stays retired.
+                        if left < steal.min_steal {
+                            continue;
+                        }
+                        // Re-profile before trusting the device again:
+                        // it may have come back slower than its
+                        // datasheet self.
+                        self.params[dev as usize] = profile_device(&self.engine, dev);
+                        let tr = health.begin_probation(s, dev, t);
+                        self.note(health_decision(&tr));
+                        quarantined[s] = false;
+                        completions[s] = t;
+                        heap.push(std::cmp::Reverse((t, s)));
+                    }
+                    Err(f) => {
+                        probe_wait[s] = probe_wait[s].scale(2.0);
+                        if probe_budget[s] > 0 {
+                            heap.push(std::cmp::Reverse((f.at + probe_wait[s], s)));
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // Deferred tails (sliced off shrunken chunks) drain before
+            // fresh queue grabs.
+            let from_deferred = deferred.pop_front();
+            let (full, requeued) = match from_deferred {
+                Some(r) => {
+                    extra_chunks += 1;
+                    (r, false)
+                }
+                None => match queue.grab_with_origin(policy) {
+                    Some(g) => g,
+                    None => break,
+                },
+            };
+
+            // Degraded and probation devices take shrunken shares: keep
+            // a fraction of the chunk, defer the tail for anyone.
+            let mult = if health_on { health.share_multiplier(s) } else { 1.0 };
+            let chunk = if mult < 1.0 && !requeued && full.len() > 1 {
+                let keep = ((full.len() as f64 * mult).ceil() as u64).clamp(1, full.len());
+                if keep < full.len() {
+                    let mut rest = full;
+                    let head = rest.take(keep);
+                    deferred.push_back(rest);
+                    head
+                } else {
+                    full
+                }
+            } else {
+                full
+            };
             // Survivors pay failover bookkeeping before re-running an
             // orphaned chunk.
             let start = if requeued {
@@ -2027,6 +2279,7 @@ impl Runtime {
             } else {
                 ["chunk-in", "chunk-launch", "chunk-out"]
             };
+            let retries_before = summary.transient_retries;
             match self.chunk_pipeline(
                 region,
                 &intensity,
@@ -2056,26 +2309,83 @@ impl Runtime {
                         realized_s: (out_done - grab_at).as_secs(),
                         requeued,
                         donor: None,
+                        note: None,
                     });
-                    // Grab the next chunk once this transfer is in *and*
-                    // the previous compute has started draining —
-                    // depth-1 prefetch.
-                    let next_grab = in_done.max(prev_comp_end[s]);
-                    prev_comp_end[s] = comp_done;
-                    heap.push(std::cmp::Reverse((next_grab, s)));
+                    let mut requarantined = false;
+                    if health_on {
+                        // A probation device that needed transient
+                        // retries to land its chunk has not earned its
+                        // way back: re-quarantine (the chunk itself is
+                        // done and stays done).
+                        if summary.transient_retries > retries_before
+                            && health.state(s) == HealthState::Probation
+                        {
+                            if let Some(tr) =
+                                health.observe_fault(s, dev, FaultKind::TransientDma, out_done)
+                            {
+                                self.note(health_decision(&tr));
+                                quarantined[s] = true;
+                                requarantined = true;
+                                if probe_budget[s] > 0 {
+                                    heap.push(std::cmp::Reverse((
+                                        out_done + probe_wait[s],
+                                        s,
+                                    )));
+                                }
+                            }
+                        }
+                        if !requarantined {
+                            if let Some(tr) = health.observe_chunk(
+                                s,
+                                dev,
+                                chunk.len(),
+                                (comp_done - in_done).as_secs(),
+                                out_done,
+                            ) {
+                                self.note(health_decision(&tr));
+                            }
+                        }
+                    }
+                    if !requarantined {
+                        // Grab the next chunk once this transfer is in
+                        // *and* the previous compute has started
+                        // draining — depth-1 prefetch.
+                        let next_grab = in_done.max(prev_comp_end[s]);
+                        prev_comp_end[s] = comp_done;
+                        heap.push(std::cmp::Reverse((next_grab, s)));
+                    }
                 }
                 Err(f) => {
                     // The chunk goes back for a survivor; this slot is
-                    // out of the race (no heap re-push).
+                    // out of the race until a recovery probe lands.
                     quarantined[s] = true;
                     summary.dropouts.push(dev);
                     completions[s] = f.at;
                     queue.requeue(chunk);
+                    if health_on {
+                        if let Some(tr) = health.quarantine(s, dev, f.at) {
+                            self.note(health_decision(&tr));
+                        }
+                        if probe_budget[s] > 0 {
+                            heap.push(std::cmp::Reverse((f.at + probe_wait[s], s)));
+                        }
+                    }
                 }
             }
         }
-        if queue.remaining() > 0 {
-            return Err(OffloadError::AllDevicesFailed { unexecuted: queue.remaining() });
+        // Work nobody could take (every device quarantined, probe
+        // budgets exhausted) falls back to the host.
+        let mut leftover: Vec<Range> = deferred.drain(..).collect();
+        leftover.extend(queue.drain_remaining());
+        if !leftover.is_empty() {
+            let known_at = completions
+                .iter()
+                .zip(quarantined.iter())
+                .filter(|(_, &q)| q)
+                .map(|(c, _)| *c)
+                .fold(SimTime::ZERO, SimTime::max);
+            let end = self.host_fallback(region, kernel, &leftover, known_at, &mut summary);
+            completions[0] = completions[0].max(end);
         }
 
         // Final fixed out-transfers (replicated/independent `from` data).
@@ -2107,7 +2417,7 @@ impl Runtime {
                 }
             }
         }
-        let chunks = queue.chunks_handed();
+        let chunks = queue.chunks_handed() + extra_chunks;
         Ok(self.finish(
             region,
             slots,
@@ -2195,6 +2505,7 @@ impl Runtime {
                             realized_s: (end - base).as_secs(),
                             requeued: false,
                             donor: None,
+                            note: None,
                         });
                     }
                     // The sample's out-data drains with the stage-2 data;
@@ -2283,6 +2594,7 @@ impl Runtime {
                         realized_s: (out_done - barrier).as_secs(),
                         requeued: false,
                         donor: None,
+                        note: None,
                     });
                 }
                 Err(f) => {

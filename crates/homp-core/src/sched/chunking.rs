@@ -115,6 +115,19 @@ impl ChunkQueue {
         self.requeued.push_back(chunk);
     }
 
+    /// Hand back everything not yet executed — the re-queue lane first,
+    /// then the fresh tail as one range — without counting scheduling
+    /// transactions. The host-fallback path takes the work wholesale
+    /// after every device has quarantined.
+    pub fn drain_remaining(&mut self) -> Vec<Range> {
+        let mut out: Vec<Range> = self.requeued.drain(..).collect();
+        let rest = self.remaining.take(self.remaining.len());
+        if !rest.is_empty() {
+            out.push(rest);
+        }
+        out
+    }
+
     /// Grab the next chunk under `policy`; `None` when the loop is
     /// exhausted.
     pub fn grab(&mut self, policy: &dyn ChunkPolicy) -> Option<Range> {

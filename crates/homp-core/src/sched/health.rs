@@ -1,0 +1,445 @@
+//! Device health lifecycle tracking.
+//!
+//! Real accelerator fleets mostly *degrade* rather than die: thermal
+//! throttling, flaky PCIe windows, error bursts that clear. This module
+//! scores each device slot from its recent chunk throughput and fault
+//! history and moves it through the lifecycle
+//!
+//! ```text
+//! Healthy → Degraded → Healthy          (throughput dips and recovers)
+//! any     → Quarantined                 (dropout, or faults on probation)
+//! Quarantined → Probation → Healthy     (probe succeeds, clean streak)
+//! ```
+//!
+//! The tracker is *pure*: it owns no simulator state and makes no
+//! scheduling decisions itself. The chunked scheduler in
+//! [`crate::runtime`] feeds it observations, asks for each slot's
+//! share multiplier (degraded devices get shrunken shares instead of
+//! exclusion — graceful degradation), and drives the probe/reintegration
+//! protocol for quarantined devices.
+
+use homp_sim::{DeviceId, FaultKind, SimTime};
+
+/// Where a device slot currently sits in the health lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Full share; throughput near its historical peak.
+    Healthy,
+    /// Alive but slow: shares are shrunk by
+    /// [`HealthPolicy::degraded_share`].
+    Degraded,
+    /// Excluded from scheduling; periodically probed for recovery.
+    Quarantined,
+    /// Recently reintegrated: reduced share until a clean streak
+    /// graduates it back to [`HealthState::Healthy`].
+    Probation,
+}
+
+impl HealthState {
+    /// Lowercase label for logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Probation => "probation",
+        }
+    }
+}
+
+/// `"from->to"` as a static string, for the decision log's `note`
+/// field (decisions carry `&'static str` so logging never allocates).
+pub fn transition_note(from: HealthState, to: HealthState) -> &'static str {
+    use HealthState::{Degraded, Healthy, Probation, Quarantined};
+    match (from, to) {
+        (Healthy, Degraded) => "healthy->degraded",
+        (Healthy, Quarantined) => "healthy->quarantined",
+        (Degraded, Healthy) => "degraded->healthy",
+        (Degraded, Quarantined) => "degraded->quarantined",
+        (Quarantined, Probation) => "quarantined->probation",
+        (Probation, Healthy) => "probation->healthy",
+        (Probation, Quarantined) => "probation->quarantined",
+        _ => "health-transition",
+    }
+}
+
+/// Tuning knobs for the health tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// EWMA smoothing factor for per-chunk throughput, in `(0, 1]`.
+    pub alpha: f64,
+    /// Degrade when smoothed throughput falls below this fraction of
+    /// the slot's peak. Kept well under 1.0: the observed signal
+    /// includes launch overhead and pipeline queue wait, which vary by
+    /// several percent run to run even on a healthy device.
+    pub degrade_ratio: f64,
+    /// Recover to Healthy when smoothed throughput climbs back above
+    /// this fraction of the peak.
+    pub recover_ratio: f64,
+    /// Share multiplier for a degraded slot.
+    pub degraded_share: f64,
+    /// Share multiplier for a slot on probation.
+    pub probation_share: f64,
+    /// Clean chunks required to graduate probation.
+    pub probation_chunks: u32,
+    /// Initial wait between recovery probes of a quarantined device,
+    /// microseconds; doubles after each failed probe.
+    pub probe_interval_us: f64,
+    /// Probes to attempt before giving a device up for dead.
+    pub max_probes: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            alpha: 0.5,
+            degrade_ratio: 0.6,
+            recover_ratio: 0.9,
+            degraded_share: 0.5,
+            probation_share: 0.25,
+            probation_chunks: 2,
+            probe_interval_us: 500.0,
+            max_probes: 10,
+        }
+    }
+}
+
+/// One recorded lifecycle transition — what the runtime threads into
+/// the decision log under stage `"health"`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthTransition {
+    /// Scheduler slot index.
+    pub slot: usize,
+    /// The device occupying the slot.
+    pub device: DeviceId,
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+    /// Virtual instant of the transition.
+    pub at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SlotHealth {
+    state: HealthState,
+    ewma: Option<f64>,
+    peak: f64,
+    clean_streak: u32,
+}
+
+impl Default for SlotHealth {
+    fn default() -> Self {
+        Self { state: HealthState::Healthy, ewma: None, peak: 0.0, clean_streak: 0 }
+    }
+}
+
+/// Health scores and lifecycle states for the slots of one offload.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    policy: HealthPolicy,
+    slots: Vec<SlotHealth>,
+}
+
+impl HealthTracker {
+    /// Tracker for `n` slots, all starting Healthy.
+    pub fn new(n: usize, policy: HealthPolicy) -> Self {
+        Self { policy, slots: vec![SlotHealth::default(); n] }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// Current state of `slot`.
+    pub fn state(&self, slot: usize) -> HealthState {
+        self.slots[slot].state
+    }
+
+    /// Fraction of a normal share this slot should receive right now:
+    /// 1.0 healthy, shrunken while degraded or on probation, 0.0 while
+    /// quarantined.
+    pub fn share_multiplier(&self, slot: usize) -> f64 {
+        match self.slots[slot].state {
+            HealthState::Healthy => 1.0,
+            HealthState::Degraded => self.policy.degraded_share,
+            HealthState::Probation => self.policy.probation_share,
+            HealthState::Quarantined => 0.0,
+        }
+    }
+
+    /// Record a successfully executed chunk: `iters` iterations whose
+    /// pipeline occupied `secs` of virtual time, finishing at `at`.
+    /// Returns a transition when the smoothed throughput crosses a
+    /// lifecycle threshold.
+    pub fn observe_chunk(
+        &mut self,
+        slot: usize,
+        device: DeviceId,
+        iters: u64,
+        secs: f64,
+        at: SimTime,
+    ) -> Option<HealthTransition> {
+        if secs <= 0.0 || iters == 0 {
+            return None;
+        }
+        let tput = iters as f64 / secs;
+        let s = &mut self.slots[slot];
+        let ewma = match s.ewma {
+            Some(prev) => self.policy.alpha * tput + (1.0 - self.policy.alpha) * prev,
+            None => tput,
+        };
+        s.ewma = Some(ewma);
+        s.peak = s.peak.max(ewma);
+        let from = s.state;
+        let to = match from {
+            HealthState::Healthy if ewma < self.policy.degrade_ratio * s.peak => {
+                HealthState::Degraded
+            }
+            HealthState::Degraded if ewma >= self.policy.recover_ratio * s.peak => {
+                HealthState::Healthy
+            }
+            HealthState::Probation => {
+                s.clean_streak += 1;
+                if s.clean_streak >= self.policy.probation_chunks {
+                    HealthState::Healthy
+                } else {
+                    from
+                }
+            }
+            other => other,
+        };
+        if to == from {
+            return None;
+        }
+        s.state = to;
+        Some(HealthTransition { slot, device, from, to, at })
+    }
+
+    /// Record a fault observed on `slot`. Dropouts quarantine from any
+    /// state; transient faults quarantine only a device on probation
+    /// (it has not yet earned back the benefit of the retry budget).
+    /// Slowdown markers never transition — they show up as reduced
+    /// throughput via [`HealthTracker::observe_chunk`] instead.
+    pub fn observe_fault(
+        &mut self,
+        slot: usize,
+        device: DeviceId,
+        kind: FaultKind,
+        at: SimTime,
+    ) -> Option<HealthTransition> {
+        let s = &mut self.slots[slot];
+        let from = s.state;
+        let quarantine = match kind {
+            FaultKind::Dropout => true,
+            FaultKind::TransientDma | FaultKind::LaunchTimeout => {
+                from == HealthState::Probation
+            }
+            FaultKind::Slowdown => false,
+        };
+        if !quarantine || from == HealthState::Quarantined {
+            return None;
+        }
+        s.state = HealthState::Quarantined;
+        s.clean_streak = 0;
+        Some(HealthTransition { slot, device, from, to: HealthState::Quarantined, at })
+    }
+
+    /// Force-quarantine a slot regardless of fault kind — the scheduler
+    /// exhausted the retry budget or otherwise gave the device up.
+    /// `None` (no transition) if the slot is already quarantined.
+    pub fn quarantine(
+        &mut self,
+        slot: usize,
+        device: DeviceId,
+        at: SimTime,
+    ) -> Option<HealthTransition> {
+        let s = &mut self.slots[slot];
+        let from = s.state;
+        if from == HealthState::Quarantined {
+            return None;
+        }
+        s.state = HealthState::Quarantined;
+        s.clean_streak = 0;
+        Some(HealthTransition { slot, device, from, to: HealthState::Quarantined, at })
+    }
+
+    /// Move a quarantined slot onto probation (its recovery probe
+    /// succeeded). The throughput history restarts so stale pre-outage
+    /// samples cannot mask a device that came back slower.
+    ///
+    /// # Panics
+    /// Panics if the slot is not quarantined.
+    pub fn begin_probation(
+        &mut self,
+        slot: usize,
+        device: DeviceId,
+        at: SimTime,
+    ) -> HealthTransition {
+        let s = &mut self.slots[slot];
+        assert_eq!(
+            s.state,
+            HealthState::Quarantined,
+            "only a quarantined slot can enter probation"
+        );
+        s.state = HealthState::Probation;
+        s.clean_streak = 0;
+        s.ewma = None;
+        HealthTransition {
+            slot,
+            device,
+            from: HealthState::Quarantined,
+            to: HealthState::Probation,
+            at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn steady_throughput_stays_healthy() {
+        let mut h = HealthTracker::new(2, HealthPolicy::default());
+        for i in 0..20 {
+            // ±5% wobble: well inside the degrade margin.
+            let secs = 1.0 + 0.05 * f64::from(i % 2);
+            assert!(h.observe_chunk(0, 0, 1000, secs, t(i as f64)).is_none());
+        }
+        assert_eq!(h.state(0), HealthState::Healthy);
+        assert_eq!(h.share_multiplier(0), 1.0);
+    }
+
+    #[test]
+    fn sustained_slowdown_degrades_then_recovers() {
+        let p = HealthPolicy::default();
+        let mut h = HealthTracker::new(1, p);
+        // Establish a baseline.
+        for i in 0..4 {
+            assert!(h.observe_chunk(0, 0, 1000, 1.0, t(i as f64)).is_none());
+        }
+        // Throughput collapses to a third: a few chunks push the EWMA
+        // below degrade_ratio * peak.
+        let mut degraded = None;
+        for i in 4..10 {
+            if let Some(tr) = h.observe_chunk(0, 0, 1000, 3.0, t(i as f64)) {
+                degraded = Some(tr);
+                break;
+            }
+        }
+        let tr = degraded.expect("sustained 3x slowdown must degrade");
+        assert_eq!((tr.from, tr.to), (HealthState::Healthy, HealthState::Degraded));
+        assert_eq!(h.share_multiplier(0), p.degraded_share);
+        // Full speed returns: the EWMA climbs back above recover_ratio.
+        let mut recovered = None;
+        for i in 10..20 {
+            if let Some(tr) = h.observe_chunk(0, 0, 1000, 1.0, t(i as f64)) {
+                recovered = Some(tr);
+                break;
+            }
+        }
+        let tr = recovered.expect("restored throughput must recover");
+        assert_eq!((tr.from, tr.to), (HealthState::Degraded, HealthState::Healthy));
+        assert_eq!(h.share_multiplier(0), 1.0);
+    }
+
+    #[test]
+    fn dropout_quarantines_from_any_state() {
+        let mut h = HealthTracker::new(2, HealthPolicy::default());
+        let tr = h.observe_fault(0, 0, FaultKind::Dropout, t(1.0)).unwrap();
+        assert_eq!((tr.from, tr.to), (HealthState::Healthy, HealthState::Quarantined));
+        assert_eq!(h.share_multiplier(0), 0.0);
+        // Idempotent: a second dropout on a quarantined slot is silent.
+        assert!(h.observe_fault(0, 0, FaultKind::Dropout, t(2.0)).is_none());
+        // Other slots unaffected.
+        assert_eq!(h.state(1), HealthState::Healthy);
+    }
+
+    #[test]
+    fn transient_faults_do_not_quarantine_a_healthy_device() {
+        let mut h = HealthTracker::new(1, HealthPolicy::default());
+        assert!(h.observe_fault(0, 0, FaultKind::TransientDma, t(0.1)).is_none());
+        assert!(h.observe_fault(0, 0, FaultKind::LaunchTimeout, t(0.2)).is_none());
+        assert!(h.observe_fault(0, 0, FaultKind::Slowdown, t(0.3)).is_none());
+        assert_eq!(h.state(0), HealthState::Healthy);
+    }
+
+    #[test]
+    fn probation_graduates_after_a_clean_streak() {
+        let p = HealthPolicy { probation_chunks: 3, ..HealthPolicy::default() };
+        let mut h = HealthTracker::new(1, p);
+        h.observe_fault(0, 0, FaultKind::Dropout, t(1.0));
+        let tr = h.begin_probation(0, 0, t(2.0));
+        assert_eq!((tr.from, tr.to), (HealthState::Quarantined, HealthState::Probation));
+        assert_eq!(h.share_multiplier(0), p.probation_share);
+        assert!(h.observe_chunk(0, 0, 100, 1.0, t(2.1)).is_none());
+        assert!(h.observe_chunk(0, 0, 100, 1.0, t(2.2)).is_none());
+        let grad = h.observe_chunk(0, 0, 100, 1.0, t(2.3)).unwrap();
+        assert_eq!((grad.from, grad.to), (HealthState::Probation, HealthState::Healthy));
+        assert_eq!(h.share_multiplier(0), 1.0);
+    }
+
+    #[test]
+    fn fault_on_probation_requarantines() {
+        let mut h = HealthTracker::new(1, HealthPolicy::default());
+        h.observe_fault(0, 0, FaultKind::Dropout, t(1.0));
+        h.begin_probation(0, 0, t(2.0));
+        let tr = h.observe_fault(0, 0, FaultKind::TransientDma, t(2.5)).unwrap();
+        assert_eq!((tr.from, tr.to), (HealthState::Probation, HealthState::Quarantined));
+    }
+
+    #[test]
+    #[should_panic(expected = "quarantined")]
+    fn probation_requires_quarantine() {
+        let mut h = HealthTracker::new(1, HealthPolicy::default());
+        h.begin_probation(0, 0, t(0.0));
+    }
+
+    #[test]
+    fn probation_restarts_the_throughput_baseline() {
+        let p = HealthPolicy { probation_chunks: 2, ..HealthPolicy::default() };
+        let mut h = HealthTracker::new(1, p);
+        // Fast history, then quarantine.
+        for i in 0..4 {
+            h.observe_chunk(0, 0, 1000, 0.1, t(i as f64));
+        }
+        h.observe_fault(0, 0, FaultKind::Dropout, t(5.0));
+        h.begin_probation(0, 0, t(6.0));
+        // The device comes back 10x slower, but graduates anyway: the
+        // streak, not the stale peak, gates probation.
+        h.observe_chunk(0, 0, 1000, 1.0, t(6.5));
+        let grad = h.observe_chunk(0, 0, 1000, 1.0, t(7.0)).unwrap();
+        assert_eq!(grad.to, HealthState::Healthy);
+    }
+
+    #[test]
+    fn forced_quarantine_works_from_any_state_once() {
+        let mut h = HealthTracker::new(1, HealthPolicy::default());
+        let tr = h.quarantine(0, 0, t(1.0)).unwrap();
+        assert_eq!((tr.from, tr.to), (HealthState::Healthy, HealthState::Quarantined));
+        assert!(h.quarantine(0, 0, t(2.0)).is_none(), "idempotent");
+        assert_eq!(h.state(0), HealthState::Quarantined);
+    }
+
+    #[test]
+    fn transition_notes_are_stable() {
+        assert_eq!(
+            transition_note(HealthState::Healthy, HealthState::Degraded),
+            "healthy->degraded"
+        );
+        assert_eq!(
+            transition_note(HealthState::Quarantined, HealthState::Probation),
+            "quarantined->probation"
+        );
+        assert_eq!(
+            transition_note(HealthState::Probation, HealthState::Healthy),
+            "probation->healthy"
+        );
+    }
+}

@@ -20,6 +20,7 @@
 pub mod assist;
 pub mod block;
 pub mod chunking;
+pub mod health;
 pub mod model_sched;
 pub mod profile_sched;
 

@@ -1,81 +1,8 @@
-//! Shared helpers for the integration suites: a coverage-counting
-//! kernel and the exactly-once partition assertions the work-assist and
-//! fault suites both lean on.
+//! Shared helpers for the integration suites. The real implementations
+//! live in [`homp_core::testing`] so the bench harness's chaos soak can
+//! assert the same exactly-once invariants; this module just re-exports
+//! them under the historical path.
 
-#![allow(dead_code)]
+#![allow(unused_imports)]
 
-use homp_core::region::is_partition;
-use homp_core::{LoopKernel, OffloadReport, Range};
-use homp_model::KernelIntensity;
-
-/// A kernel that counts how many times each iteration executes — the
-/// ground truth for the exactly-once property.
-pub struct CoverageKernel {
-    /// Per-iteration execution counters.
-    pub hits: Vec<u32>,
-    intensity: KernelIntensity,
-}
-
-impl CoverageKernel {
-    /// Counter over `[0, n)` with axpy-like intensity.
-    pub fn new(n: u64) -> CoverageKernel {
-        CoverageKernel::with_intensity(
-            n,
-            KernelIntensity {
-                flops_per_iter: 2.0,
-                mem_elems_per_iter: 3.0,
-                data_elems_per_iter: 3.0,
-                elem_bytes: 8.0,
-            },
-        )
-    }
-
-    /// Counter with a caller-chosen intensity (e.g. compute-bound loops
-    /// where load imbalance, not transfer time, dominates).
-    pub fn with_intensity(n: u64, intensity: KernelIntensity) -> CoverageKernel {
-        CoverageKernel { hits: vec![0; n as usize], intensity }
-    }
-
-    /// Every iteration ran exactly once.
-    pub fn assert_exactly_once(&self, label: &str) {
-        assert!(
-            self.hits.iter().all(|&h| h == 1),
-            "{label}: every iteration must execute exactly once \
-             (min {:?}, max {:?}, misses {})",
-            self.hits.iter().min(),
-            self.hits.iter().max(),
-            self.hits.iter().filter(|&&h| h != 1).count(),
-        );
-    }
-}
-
-impl LoopKernel for CoverageKernel {
-    fn intensity(&self) -> KernelIntensity {
-        self.intensity
-    }
-
-    fn execute(&mut self, range: Range) {
-        for i in range.start..range.end {
-            self.hits[i as usize] += 1;
-        }
-    }
-}
-
-/// Replay a report's decision log: the recorded chunk ranges of all
-/// devices must partition `[0, trip_count)` — no gap, no overlap —
-/// regardless of which scheduler stages (static, chunk, sample, stage2,
-/// assist, requeue) placed them. Requires the decision log to have been
-/// enabled on the runtime.
-pub fn assert_decisions_partition(report: &OffloadReport, trip_count: u64, label: &str) {
-    let ranges: Vec<Range> = report.decisions.iter().map(|d| d.range).collect();
-    assert!(
-        !ranges.is_empty() || trip_count == 0,
-        "{label}: decision log is empty — was set_decision_log(true) called?"
-    );
-    assert!(
-        is_partition(&ranges, trip_count),
-        "{label}: decision ranges must partition [0, {trip_count}): {ranges:?}"
-    );
-    let executed: u64 = report.counts.iter().sum();
-    assert_eq!(executed, trip_count, "{label}: per-slot counts must reconcile");
-}
+pub use homp_core::testing::{assert_decisions_partition, CoverageKernel};

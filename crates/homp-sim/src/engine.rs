@@ -293,7 +293,7 @@ impl Engine {
         }
         let seq = self.next_seq(dev);
         let jitter = self.noise.factor(dev, seq);
-        let span = span.scale(jitter);
+        let mut span = span.scale(jitter);
 
         let d = &self.machine.devices[dev as usize];
         let group = d.link.expect("non-shared device has a link").bus_group;
@@ -311,10 +311,26 @@ impl Engine {
                 .max(self.h2d_free[dev as usize])
                 .max(self.d2h_free[dev as usize]);
         }
+        if check_faults {
+            // Degraded mode: stretch the transfer and leave a zero-length
+            // marker so the slowdown is visible in the trace.
+            let stretch = self.faults.slowdown_factor(dev, start);
+            if stretch != 1.0 {
+                span = span.scale(stretch);
+                self.trace.record(
+                    dev,
+                    OpKind::Fault,
+                    start,
+                    start,
+                    0,
+                    &format!("{label} [slowdown]"),
+                );
+            }
+        }
         let end = start + span;
         if check_faults {
-            if let Some(tf) = self.faults.fail_at(dev) {
-                if start >= tf {
+            if let Some(tf) = self.faults.dropout_at(dev, start, end) {
+                if tf == start {
                     // The device is already gone; the proxy discovers it
                     // the moment it tries to submit.
                     self.trace.record(
@@ -327,22 +343,20 @@ impl Engine {
                     );
                     return Err(Fault { device: dev, kind: FaultKind::Dropout, at: start });
                 }
-                if end > tf {
-                    // The transfer dies mid-flight; bus and engine are
-                    // held until the failure instant.
-                    self.commit_transfer(dev, dir, group, tf);
-                    self.trace.record(
-                        dev,
-                        OpKind::Fault,
-                        start,
-                        tf,
-                        bytes,
-                        &format!("{label} [dropout]"),
-                    );
-                    return Err(Fault { device: dev, kind: FaultKind::Dropout, at: tf });
-                }
+                // The transfer dies mid-flight; bus and engine are
+                // held until the failure instant.
+                self.commit_transfer(dev, dir, group, tf);
+                self.trace.record(
+                    dev,
+                    OpKind::Fault,
+                    start,
+                    tf,
+                    bytes,
+                    &format!("{label} [dropout]"),
+                );
+                return Err(Fault { device: dev, kind: FaultKind::Dropout, at: tf });
             }
-            if self.faults.dma_fault(dev, seq) {
+            if self.faults.dma_fault_at(dev, seq, start) {
                 let latency = self
                     .faults
                     .device(dev)
@@ -440,8 +454,22 @@ impl Engine {
             return Ok(ready);
         }
         let seq = self.next_seq(dev);
-        let span = self.compute_span_at(dev, work, seq, sched);
+        let mut span = self.compute_span_at(dev, work, seq, sched);
         let start = ready.max(self.compute_free[dev as usize]);
+        if check_faults {
+            let stretch = self.faults.slowdown_factor(dev, start);
+            if stretch != 1.0 {
+                span = span.scale(stretch);
+                self.trace.record(
+                    dev,
+                    OpKind::Fault,
+                    start,
+                    start,
+                    0,
+                    &format!("{label} [slowdown]"),
+                );
+            }
+        }
         let end = start + span;
         if check_faults {
             if let Some(fault) = self.dropout_check(dev, start, end, work.iters, label) {
@@ -539,13 +567,18 @@ impl Engine {
         }
         let seq = self.op_seq[dev as usize] + 1;
         let span = self.compute_span_at(dev, work, seq, sched);
-        ready.max(self.compute_free[dev as usize]) + span
+        let start = ready.max(self.compute_free[dev as usize]);
+        // Mirror the committing path's degraded-mode stretch so the
+        // assist scheduler's predictions stay exact under slowdown
+        // windows (factor is 1.0 without a plan).
+        start + span.scale(self.faults.slowdown_factor(dev, start))
     }
 
     /// Dropout check shared by compute and launch: an operation that
-    /// would start after the scripted dropout fails at submission; one
-    /// that straddles it holds the compute engine until the failure
-    /// instant and fails there.
+    /// would start during the scripted outage fails at submission; one
+    /// that straddles the dropout holds the compute engine until the
+    /// failure instant and fails there. Operations starting at or after
+    /// a scripted recovery succeed again.
     fn dropout_check(
         &mut self,
         dev: DeviceId,
@@ -554,17 +587,14 @@ impl Engine {
         amount: u64,
         label: &str,
     ) -> Option<Fault> {
-        let tf = self.faults.fail_at(dev)?;
-        if start >= tf {
+        let tf = self.faults.dropout_at(dev, start, end)?;
+        if tf == start {
             self.trace.record(dev, OpKind::Fault, start, start, 0, &format!("{label} [dropout]"));
             return Some(Fault { device: dev, kind: FaultKind::Dropout, at: start });
         }
-        if end > tf {
-            self.compute_free[dev as usize] = tf;
-            self.trace.record(dev, OpKind::Fault, start, tf, amount, &format!("{label} [dropout]"));
-            return Some(Fault { device: dev, kind: FaultKind::Dropout, at: tf });
-        }
-        None
+        self.compute_free[dev as usize] = tf;
+        self.trace.record(dev, OpKind::Fault, start, tf, amount, &format!("{label} [dropout]"));
+        Some(Fault { device: dev, kind: FaultKind::Dropout, at: tf })
     }
 
     /// Pay the device's per-offload launch/bookkeeping overhead starting
@@ -607,7 +637,7 @@ impl Engine {
             if let Some(fault) = self.dropout_check(dev, start, end, 0, label) {
                 return Err(fault);
             }
-            if self.faults.launch_fault(dev, lseq) {
+            if self.faults.launch_fault_at(dev, lseq, start) {
                 let latency = self
                     .faults
                     .device(dev)
@@ -914,6 +944,94 @@ mod tests {
         let b = e.trace().breakdown(4);
         assert!(b.busy(0, OpKind::Backoff).as_secs() > 0.0);
         assert!(b.busy(0, OpKind::Failover).as_secs() > 0.0);
+    }
+
+    #[test]
+    fn slowdown_window_stretches_ops_and_marks_the_trace() {
+        let k = axpy_intensity();
+        let mut e = Engine::noiseless(Machine::four_k40());
+        let base = e.pure_compute_span(0, &ChunkWork::new(1_000_000, &k)).as_secs();
+        // Window covers the whole run with factor 2.5.
+        e.set_fault_plan(crate::fault::FaultPlan::new(0).with_slowdown(0, 2.5, 0.0, 1e9));
+        let end = e.try_compute(0, &ChunkWork::new(1_000_000, &k), SimTime::ZERO, "c").unwrap();
+        assert!((end.as_secs() - base * 2.5).abs() < 1e-12, "compute stretched by factor");
+        let slow_marks = e
+            .trace()
+            .events()
+            .iter()
+            .filter(|ev| ev.kind == OpKind::Fault)
+            .count();
+        assert_eq!(slow_marks, 1, "one zero-length slowdown marker");
+
+        // A transfer inside the window stretches too.
+        let mut e2 = Engine::noiseless(Machine::four_k40());
+        let plain = e2.try_transfer(0, 1 << 20, Dir::H2D, SimTime::ZERO, "x").unwrap();
+        let mut e3 = Engine::noiseless(Machine::four_k40());
+        e3.set_fault_plan(crate::fault::FaultPlan::new(0).with_slowdown(0, 2.0, 0.0, 1e9));
+        let slow = e3.try_transfer(0, 1 << 20, Dir::H2D, SimTime::ZERO, "x").unwrap();
+        assert!((slow.as_secs() - plain.as_secs() * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ops_outside_the_slowdown_window_are_untouched() {
+        let k = axpy_intensity();
+        let run = |with_plan: bool| {
+            let mut e = Engine::new(Machine::four_k40(), NoiseModel::new(3, 0.05));
+            if with_plan {
+                // Window far in the future: nothing here reaches it.
+                e.set_fault_plan(
+                    crate::fault::FaultPlan::new(1).with_slowdown(0, 4.0, 1e6, 2e6),
+                );
+            }
+            let t = e.try_transfer(0, 1 << 20, Dir::H2D, SimTime::ZERO, "x").unwrap();
+            let c = e.try_compute(0, &ChunkWork::new(10_000, &k), t, "c").unwrap();
+            (c, e.take_trace().to_csv())
+        };
+        assert_eq!(run(false), run(true), "outside the window runs are byte-identical");
+    }
+
+    #[test]
+    fn peek_matches_commit_under_a_slowdown_plan() {
+        let k = axpy_intensity();
+        let mut e = Engine::new(Machine::four_k40(), NoiseModel::new(7, 0.05));
+        e.set_fault_plan(crate::fault::FaultPlan::new(0).with_slowdown(0, 3.0, 0.0, 1e9));
+        let warm = e.try_compute(0, &ChunkWork::new(10_000, &k), SimTime::ZERO, "w").unwrap();
+        let work = ChunkWork::new(123_456, &k);
+        let peeked = e.peek_compute_end(0, &work, warm, TeamSched::Aggregate);
+        let committed = e.try_compute(0, &work, warm, "real").unwrap();
+        assert_eq!(peeked, committed, "peek must price the stretch identically");
+    }
+
+    #[test]
+    fn recovery_lets_submissions_succeed_after_the_outage() {
+        let k = axpy_intensity();
+        let mut e = Engine::noiseless(Machine::four_k40());
+        e.set_fault_plan(
+            crate::fault::FaultPlan::new(0).with_dropout_at(0, 1e-3).with_recovery_at(0, 2e-3),
+        );
+        // Mid-outage submission fails at its start.
+        let err = e.try_launch(0, SimTime::from_secs(1.5e-3), "l").unwrap_err();
+        assert_eq!(err.kind, crate::fault::FaultKind::Dropout);
+        // Post-recovery submission succeeds.
+        let ok = e.try_compute(0, &ChunkWork::new(10_000, &k), SimTime::from_secs(2e-3), "c");
+        assert!(ok.is_ok(), "device answers again after recover_at");
+    }
+
+    #[test]
+    fn flaky_window_faults_inside_and_stays_clean_outside() {
+        let mut e = Engine::noiseless(Machine::four_k40());
+        e.set_fault_plan(
+            crate::fault::FaultPlan::new(0).with_flaky_window(0, 0.0, 1e9, 1.0, 0.0),
+        );
+        let err = e.try_transfer(0, 1 << 20, Dir::H2D, SimTime::ZERO, "x").unwrap_err();
+        assert_eq!(err.kind, crate::fault::FaultKind::TransientDma);
+        // A window that never covers the run injects nothing.
+        let mut e2 = Engine::noiseless(Machine::four_k40());
+        e2.set_fault_plan(
+            crate::fault::FaultPlan::new(0).with_flaky_window(0, 1e6, 2e6, 1.0, 1.0),
+        );
+        assert!(e2.try_transfer(0, 1 << 20, Dir::H2D, SimTime::ZERO, "x").is_ok());
+        assert!(e2.try_launch(0, SimTime::ZERO, "l").is_ok());
     }
 
     #[test]

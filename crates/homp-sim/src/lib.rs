@@ -40,7 +40,7 @@ pub mod trace;
 
 pub use device::{DeviceDescriptor, DeviceId, DeviceType, Link, MemoryKind};
 pub use engine::{ChunkWork, Dir, Engine, TeamSched};
-pub use fault::{DeviceFaultPlan, Fault, FaultKind, FaultPlan};
+pub use fault::{DeviceFaultPlan, Fault, FaultKind, FaultPlan, FlakyWindow, SlowdownWindow};
 pub use machine::{Machine, MachineParseError};
 pub use memory::{mapping_decision, AllocId, MappingDecision, MemoryError, MemorySpace};
 pub use metrics::{DeviceMetrics, Metrics, TransferStats};

@@ -13,6 +13,7 @@
 //! [`Trace`] — recording metrics can never perturb the simulation
 //! (golden traces stay byte-identical with metrics on or off).
 
+use crate::fault::FaultKind;
 use crate::trace::{OpKind, Trace};
 
 /// Merge possibly-overlapping `(start, end)` intervals into a sorted
@@ -142,6 +143,11 @@ pub struct DeviceMetrics {
     pub kernel_iters: u64,
     /// FAULT events observed (injected faults that hit this device).
     pub fault_events: u64,
+    /// FAULT events broken down by [`FaultKind`], indexed by
+    /// [`FaultKind::index`] in [`FaultKind::ALL`] order. Kinds are
+    /// recovered from the trace label's trailing `[tag]`; events without
+    /// a recognizable tag count only in `fault_events`.
+    pub faults_by_kind: [u64; FaultKind::ALL.len()],
     /// BACKOFF events (retry waits after transient faults).
     pub backoff_events: u64,
     /// FAILOVER events (requeue bookkeeping paid by this survivor).
@@ -198,7 +204,12 @@ impl Metrics {
                     m.d2h_bytes += e.amount;
                     dma_iv[d].push((s, t));
                 }
-                OpKind::Fault => m.fault_events += 1,
+                OpKind::Fault => {
+                    m.fault_events += 1;
+                    if let Some(kind) = FaultKind::from_label_suffix(trace.label(e.label)) {
+                        m.faults_by_kind[kind.index()] += 1;
+                    }
+                }
                 OpKind::Backoff => m.backoff_events += 1,
                 OpKind::Failover => m.failover_events += 1,
                 OpKind::Init | OpKind::Sync => {}
@@ -260,6 +271,18 @@ impl Metrics {
         self.devices.iter().fold((0, 0, 0), |(f, b, v), d| {
             (f + d.fault_events, b + d.backoff_events, v + d.failover_events)
         })
+    }
+
+    /// Total FAULT events per [`FaultKind`] across all devices, indexed
+    /// by [`FaultKind::index`].
+    pub fn fault_events_by_kind(&self) -> [u64; FaultKind::ALL.len()] {
+        let mut out = [0u64; FaultKind::ALL.len()];
+        for d in &self.devices {
+            for (slot, n) in d.faults_by_kind.iter().enumerate() {
+                out[slot] += n;
+            }
+        }
+        out
     }
 
     /// The paper's load-balance ratio: max over min completion time
@@ -344,6 +367,22 @@ mod tests {
         // Backoff is excluded from the working union; fault + failover
         // hold the device.
         assert!((d.busy_union_s - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_kinds_are_recovered_from_labels() {
+        let mut tr = Trace::new();
+        tr.record(0, OpKind::Fault, t(0.0), t(0.1), 0, "chunk-in [dma-error]");
+        tr.record(0, OpKind::Fault, t(0.2), t(0.3), 0, "launch [launch-timeout]");
+        tr.record(1, OpKind::Fault, t(0.4), t(0.5), 0, "chunk-launch [dropout]");
+        tr.record(1, OpKind::Fault, t(0.6), t(0.6), 0, "axpy [slowdown]");
+        tr.record(1, OpKind::Fault, t(0.7), t(0.8), 0, "untagged");
+        let m = Metrics::from_trace(&tr, 2);
+        assert_eq!(m.devices[0].faults_by_kind, [1, 1, 0, 0]);
+        assert_eq!(m.devices[1].faults_by_kind, [0, 0, 1, 1]);
+        assert_eq!(m.fault_events_by_kind(), [1, 1, 1, 1]);
+        // The untagged event still counts in the aggregate tally.
+        assert_eq!(m.total_fault_events().0, 5);
     }
 
     #[test]
@@ -435,6 +474,36 @@ mod tests {
                 prop_assert!(d.busy_union_s <= sum + 1e-9);
                 prop_assert!(d.overlap_s <= d.compute_s.min(d.dma_s) + 1e-9);
             }
+        }
+
+        /// Inject a random mix of tagged fault events; the per-kind
+        /// counters must reproduce exactly what was injected, per device
+        /// and in aggregate.
+        #[test]
+        fn per_kind_counts_match_injected_faults(
+            faults in proptest::collection::vec((0u32..4, 0usize..4, 0.0f64..10.0), 0..60)
+        ) {
+            let mut tr = Trace::new();
+            let mut want = vec![[0u64; 4]; 4];
+            for &(dev, kind_ix, start) in &faults {
+                let kind = FaultKind::ALL[kind_ix];
+                let label = format!("op [{}]", kind.label());
+                tr.record(dev, OpKind::Fault, t(start), t(start + 0.01), 0, &label);
+                want[dev as usize][kind.index()] += 1;
+            }
+            let m = Metrics::from_trace(&tr, 4);
+            for (d, want_d) in want.iter().enumerate() {
+                prop_assert_eq!(&m.devices[d].faults_by_kind, want_d, "device {}", d);
+                let per_kind_sum: u64 = m.devices[d].faults_by_kind.iter().sum();
+                prop_assert_eq!(per_kind_sum, m.devices[d].fault_events);
+            }
+            let mut total = [0u64; 4];
+            for w in &want {
+                for (slot, n) in w.iter().enumerate() {
+                    total[slot] += n;
+                }
+            }
+            prop_assert_eq!(m.fault_events_by_kind(), total);
         }
     }
 }
