@@ -1,14 +1,48 @@
-//! Criterion: the fig5 grid end-to-end, serial vs fanned across
-//! workers. This is the harness's tentpole speedup — the same cells,
-//! the same bytes out, divided over cores — so the jobs=N lines should
-//! shrink roughly linearly until the 42-cell grid runs out of slack.
+//! Criterion perf suite: the fig5 grid end-to-end plus the engine hot
+//! path under torture-scale load.
+//!
+//! The fig5 group always runs (it is small and fast). The engine
+//! groups are **gated behind `HOMP_PERF=1`** — they drive hundreds of
+//! thousands of simulator events per iteration, which is the point of
+//! a perf run and a waste of time in a default `cargo bench` smoke.
+//!
+//!     HOMP_PERF=1 cargo bench -p homp-bench --bench grid_e2e
+//!
+//! The trace-level sweep makes the cost of recording visible: `off`
+//! prices scheduling alone, `spans` adds event append without label
+//! interning, `full` is the default everything-on path the figure
+//! binaries use.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use homp_bench::{run_grid_jobs, SEED};
-use homp_core::Algorithm;
-use homp_kernels::KernelSpec;
-use homp_sim::Machine;
+use homp_core::{Algorithm, OffloadRegion, RuntimeConfig};
+use homp_kernels::{KernelSpec, PhantomKernel};
+use homp_lang::{DistPolicy, MapDir};
+use homp_model::KernelIntensity;
+use homp_sim::device::nvidia_k40;
+use homp_sim::{ChunkWork, Dir, Engine, Machine, NoiseModel, SimTime, TraceLevel};
 use std::hint::black_box;
+
+/// Heavy engine benches only run when the caller opts in.
+fn perf_gated() -> bool {
+    std::env::var_os("HOMP_PERF").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+fn torture_machine(devices: usize) -> Machine {
+    Machine::new(
+        format!("{devices}xK40-paired"),
+        (0..devices).map(|i| nvidia_k40(i as u32, (i / 2) as u32)).collect(),
+    )
+}
+
+fn axpy_intensity() -> KernelIntensity {
+    KernelIntensity {
+        flops_per_iter: 2.0,
+        mem_elems_per_iter: 3.0,
+        data_elems_per_iter: 3.0,
+        elem_bytes: 8.0,
+    }
+}
 
 fn bench_grid_e2e(c: &mut Criterion) {
     let machine = Machine::four_k40();
@@ -32,5 +66,91 @@ fn bench_grid_e2e(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_grid_e2e);
+/// Raw engine ceiling at each trace recording level: a
+/// transfer→compute→transfer loop on 64 paired devices, no runtime.
+fn bench_engine_ops(c: &mut Criterion) {
+    if !perf_gated() {
+        println!("bench engine/raw_ops skipped (set HOMP_PERF=1 to run)");
+        return;
+    }
+    const DEVICES: usize = 64;
+    const ROUNDS: u64 = 256;
+    let k = axpy_intensity();
+    let mut group = c.benchmark_group("engine/raw_ops");
+    group.throughput(Throughput::Elements(ROUNDS * DEVICES as u64 * 3));
+    for (name, level) in [
+        ("off", TraceLevel::Off),
+        ("spans", TraceLevel::Spans),
+        ("full", TraceLevel::Full),
+    ] {
+        group.bench_with_input(BenchmarkId::new("level", name), &level, |b, &level| {
+            let mut e = Engine::new(torture_machine(DEVICES), NoiseModel::new(SEED, 0.06));
+            e.set_trace_level(level);
+            let mut last = vec![SimTime::ZERO; DEVICES];
+            b.iter(|| {
+                e.reset();
+                last.fill(SimTime::ZERO);
+                for _ in 0..ROUNDS {
+                    for d in 0..DEVICES as u32 {
+                        let t = e.transfer(d, 1 << 16, Dir::H2D, last[d as usize], "in");
+                        let cdone = e.compute(d, &ChunkWork::new(4096, &k), t, "kernel");
+                        last[d as usize] = e.transfer(d, 1 << 16, Dir::D2H, cdone, "out");
+                    }
+                }
+                black_box(e.ops_submitted())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The hottest loop in homp-core: dynamic chunks through
+/// `run_chunked`, with the trace off (scheduling alone) and at the
+/// default full recording the figure binaries pay for.
+fn bench_run_chunked(c: &mut Criterion) {
+    if !perf_gated() {
+        println!("bench engine/run_chunked skipped (set HOMP_PERF=1 to run)");
+        return;
+    }
+    const DEVICES: usize = 64;
+    const CHUNKS: u64 = 20_000;
+    const CHUNK_ITERS: u64 = 64;
+    let trip = CHUNKS * CHUNK_ITERS;
+    let chunk_pct = 100.0 * CHUNK_ITERS as f64 / trip as f64;
+    let devices: Vec<u32> = (0..DEVICES as u32).collect();
+    let region = OffloadRegion::builder("torture")
+        .trip_count(trip)
+        .devices(devices)
+        .algorithm(Algorithm::Dynamic { chunk_pct })
+        .map_1d("x", MapDir::To, trip, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+        .map_1d(
+            "y",
+            MapDir::ToFrom,
+            trip,
+            8,
+            DistPolicy::Align { target: "loop".into(), ratio: 1 },
+        )
+        .build();
+
+    let mut group = c.benchmark_group("engine/run_chunked");
+    group.throughput(Throughput::Elements(CHUNKS));
+    for (name, level) in [("off", TraceLevel::Off), ("full", TraceLevel::Full)] {
+        group.bench_with_input(BenchmarkId::new("trace", name), &level, |b, &level| {
+            let mut rt = RuntimeConfig::new()
+                .seed(SEED)
+                .trace_level(level)
+                .build(torture_machine(DEVICES));
+            b.iter(|| {
+                rt.reset_with_seed(SEED);
+                let mut kernel = PhantomKernel::new(axpy_intensity());
+                let report = rt.offload(&region, &mut kernel).expect("offload");
+                assert_eq!(report.chunks, CHUNKS);
+                black_box(report.makespan)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_e2e, bench_engine_ops, bench_run_chunked);
 criterion_main!(benches);

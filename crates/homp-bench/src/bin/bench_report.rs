@@ -80,6 +80,51 @@ fn parse_harness_line(stderr: &str, name: &str) -> Result<Sample, String> {
     })
 }
 
+/// Every number following `"key":` in hand-rolled JSON, in file order.
+fn json_nums(s: &str, key: &str) -> Vec<f64> {
+    let pat = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = s;
+    while let Some(i) = rest.find(&pat) {
+        let tail = rest[i + pat.len()..].trim_start();
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(tail.len());
+        if let Ok(v) = tail[..end].parse() {
+            out.push(v);
+        }
+        rest = &rest[i + pat.len()..];
+    }
+    out
+}
+
+/// Summarize `BENCH_engine.json` (written by the `engine_torture`
+/// binary) as a JSON object for embedding into `BENCH_harness.json`,
+/// plus a human line. `events_per_sec` appears several times in that
+/// file — baseline first, then the headline, then quick/scenarios —
+/// so position selects the row.
+fn engine_section(body: &str) -> Result<(String, String), String> {
+    let eps = json_nums(body, "events_per_sec");
+    // [baseline, headline, quick_* may not match this exact key].
+    let (baseline, headline) = match (eps.first(), eps.get(1)) {
+        (Some(&b), Some(&h)) => (b, h),
+        _ => return Err(format!("expected ≥2 events_per_sec values, got {}", eps.len())),
+    };
+    let speedup = *json_nums(body, "speedup_vs_baseline")
+        .first()
+        .ok_or("missing speedup_vs_baseline")?;
+    let json = format!(
+        "{{\n    \"source\": \"BENCH_engine.json\",\n    \
+         \"baseline_events_per_sec\": {baseline:.1},\n    \
+         \"events_per_sec\": {headline:.1},\n    \
+         \"speedup_vs_baseline\": {speedup:.4}\n  }}"
+    );
+    let human = format!(
+        "engine: {headline:.0} events/s ({speedup:.2}x vs pre-overhaul {baseline:.0})"
+    );
+    Ok((json, human))
+}
+
 fn run_binary(dir: &Path, name: &str, jobs: usize) -> Result<Sample, String> {
     let path = dir.join(name);
     let out = Command::new(&path)
@@ -158,6 +203,28 @@ fn main() {
          jobs={par_jobs} — {key_speedup:.2}x"
     );
 
+    // Fold the engine throughput trajectory in alongside the harness
+    // numbers, so one file answers both "is the fan-out healthy" and
+    // "is the simulator core fast". Absence is not an error — the
+    // engine bench is optional — but a malformed file is.
+    let engine_json = match std::fs::read_to_string("BENCH_engine.json") {
+        Ok(body) => match engine_section(&body) {
+            Ok((json, human)) => {
+                println!("{human}");
+                json
+            }
+            Err(msg) => {
+                eprintln!("[bench_report] FAILED BENCH_engine.json: {msg}");
+                failures.push(format!("BENCH_engine.json: {msg}"));
+                "null".to_string()
+            }
+        },
+        Err(_) => {
+            println!("engine: BENCH_engine.json not found — run engine_torture to produce it");
+            "null".to_string()
+        }
+    };
+
     // Record the host's core count: the speedup column only has room
     // to move when the machine actually has spare cores.
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -165,7 +232,8 @@ fn main() {
         "{{\n  \"jobs\": {par_jobs},\n  \"host_parallelism\": {host_cores},\n  \
          \"key_figures\": [\"fig5\", \"fig8\", \"fig9\"],\n  \
          \"key_serial_wall_s\": {key_serial:.6},\n  \"key_parallel_wall_s\": {key_parallel:.6},\n  \
-         \"key_speedup\": {key_speedup:.4},\n  \"experiments\": [\n{rows}  ]\n}}\n"
+         \"key_speedup\": {key_speedup:.4},\n  \"engine\": {engine_json},\n  \
+         \"experiments\": [\n{rows}  ]\n}}\n"
     );
     std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
     println!("[wrote BENCH_harness.json]");
@@ -203,6 +271,35 @@ mod tests {
         let err = parse_harness_line("[harness] name=fig6 wall_s=1 jobs=1 cells=1\n", "fig5")
             .unwrap_err();
         assert!(err.contains("no [harness] line"));
+    }
+
+    #[test]
+    fn engine_section_picks_headline_not_baseline() {
+        let body = "{\n  \"baseline\": {\"events_per_sec\": 100.0},\n  \
+                    \"events_per_sec\": 350.0,\n  \"speedup_vs_baseline\": 3.5,\n  \
+                    \"quick_events_per_sec\": 360.0\n}\n";
+        let (json, human) = engine_section(body).unwrap();
+        assert!(json.contains("\"baseline_events_per_sec\": 100.0"), "{json}");
+        assert!(json.contains("\"events_per_sec\": 350.0"), "{json}");
+        assert!(json.contains("\"speedup_vs_baseline\": 3.5000"), "{json}");
+        assert!(human.contains("3.50x"), "{human}");
+    }
+
+    #[test]
+    fn engine_section_rejects_truncated_files() {
+        let err = engine_section("{\"events_per_sec\": 1.0}").unwrap_err();
+        assert!(err.contains("expected ≥2"), "{err}");
+        let err = engine_section(
+            "{\"baseline\": {\"events_per_sec\": 1.0}, \"events_per_sec\": 2.0}",
+        )
+        .unwrap_err();
+        assert!(err.contains("speedup_vs_baseline"), "{err}");
+    }
+
+    #[test]
+    fn json_nums_returns_values_in_file_order() {
+        assert_eq!(json_nums("\"a\": 1, \"a\": 2.5, \"a\": -3e2", "a"), vec![1.0, 2.5, -300.0]);
+        assert!(json_nums("\"b\": 1", "a").is_empty());
     }
 
     #[test]

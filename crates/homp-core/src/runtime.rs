@@ -34,7 +34,8 @@ use homp_model::heuristics::{classify, select_algorithm, ClassThresholds};
 use homp_model::{DeviceParams, KernelIntensity};
 use homp_sim::{
     profile_device, profile_machine, ChunkWork, DeviceId, Dir, Engine, Fault, FaultKind,
-    FaultPlan, Machine, MemorySpace, NoiseModel, SimSpan, SimTime, Trace, TransferStats,
+    FaultPlan, Machine, MemorySpace, NoiseModel, SimSpan, SimTime, Trace, TraceLevel,
+    TransferStats,
 };
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -402,6 +403,9 @@ struct AssistState {
     chunks: u64,
     /// Whether any steal or orphan adoption happened.
     fired: bool,
+    /// Reusable `(free-since, slot)` buffer for the dispatch loop —
+    /// rebuilt (not reallocated) every dispatch round.
+    free_scratch: Vec<(SimTime, usize)>,
 }
 
 impl AssistState {
@@ -419,6 +423,7 @@ impl AssistState {
             summary: FaultSummary::default(),
             chunks: 0,
             fired: false,
+            free_scratch: Vec::new(),
         }
     }
 
@@ -548,6 +553,7 @@ pub struct RuntimeConfig {
     faults: FaultConfig,
     decision_log: bool,
     overlap: bool,
+    trace_level: TraceLevel,
 }
 
 impl Default for RuntimeConfig {
@@ -559,6 +565,7 @@ impl Default for RuntimeConfig {
             faults: FaultConfig::none(),
             decision_log: false,
             overlap: true,
+            trace_level: TraceLevel::Full,
         }
     }
 }
@@ -620,6 +627,16 @@ impl RuntimeConfig {
         self
     }
 
+    /// Trace recording level (default [`TraceLevel::Full`]). Scheduling
+    /// decisions and the virtual clock are identical at every level;
+    /// dialing down to [`TraceLevel::Off`] makes throughput-bound
+    /// sweeps skip trace appends entirely.
+    #[must_use]
+    pub fn trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
+        self
+    }
+
     /// Build the runtime over `machine`.
     pub fn build(&self, machine: Machine) -> Runtime {
         let noise = match self.noise {
@@ -634,6 +651,7 @@ impl RuntimeConfig {
         rt.set_fault_config(self.faults.clone());
         rt.set_decision_log(self.decision_log);
         rt.set_overlap(self.overlap);
+        rt.set_trace_level(self.trace_level);
         rt
     }
 }
@@ -764,6 +782,27 @@ impl Runtime {
     /// The simulated machine.
     pub fn machine(&self) -> &Machine {
         self.engine.machine()
+    }
+
+    /// Engine operations submitted since the runtime was built — a
+    /// monotone counter that survives [`Runtime::reset_with_seed`] and
+    /// is independent of the trace recording level, so throughput
+    /// harnesses can meter multi-offload runs with one read (see
+    /// [`homp_sim::engine::Engine::ops_submitted`]).
+    pub fn sim_ops(&self) -> u64 {
+        self.engine.ops_submitted()
+    }
+
+    /// Set the trace recording level (see [`TraceLevel`]). Reports from
+    /// offloads run at [`TraceLevel::Off`] carry an empty trace (and so
+    /// a vacuous breakdown), but identical timings and decisions.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.engine.set_trace_level(level);
+    }
+
+    /// Current trace recording level.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.engine.trace_level()
     }
 
     /// The machine constants the models see (datasheet by default,
@@ -1276,23 +1315,30 @@ impl Runtime {
     where
         F: FnMut(&mut Engine, SimTime) -> Result<SimTime, Fault>,
     {
-        let retry = self.faults.retry;
         let mut ready = ready;
-        let mut backoff = SimSpan::from_micros(retry.base_backoff_us);
-        let max_backoff = SimSpan::from_micros(retry.max_backoff_us);
+        // The backoff schedule is built lazily: the overwhelmingly
+        // common fault-free call runs the op once and returns without
+        // touching the retry policy at all.
+        let mut backoff: Option<SimSpan> = None;
         let mut retries = 0u32;
         loop {
             match op(&mut self.engine, ready) {
                 Ok(t) => return Ok(t),
                 Err(f) if f.kind.is_permanent() => return Err(f),
                 Err(f) => {
+                    let retry = self.faults.retry;
                     if retries >= retry.max_retries {
                         return Err(f);
                     }
                     retries += 1;
                     summary.transient_retries += 1;
-                    ready = self.engine.record_backoff(dev, f.at, backoff, "retry-backoff");
-                    backoff = backoff.scale(retry.multiplier).min(max_backoff);
+                    let b = *backoff
+                        .get_or_insert_with(|| SimSpan::from_micros(retry.base_backoff_us));
+                    ready = self.engine.record_backoff(dev, f.at, b, "retry-backoff");
+                    backoff = Some(
+                        b.scale(retry.multiplier)
+                            .min(SimSpan::from_micros(retry.max_backoff_us)),
+                    );
                 }
             }
         }
@@ -1952,15 +1998,16 @@ impl Runtime {
         st: &mut AssistState,
     ) {
         loop {
-            let mut free: Vec<(SimTime, usize)> = st
-                .free_since
-                .iter()
-                .enumerate()
-                .filter_map(|(s, t)| t.map(|t| (t, s)))
-                .collect();
+            // Reuse the state's scratch buffer across rounds (and across
+            // offloads via `AssistState` reuse) instead of collecting a
+            // fresh Vec per round — this loop runs once per dispatch
+            // round of every assisted offload.
+            let mut free = std::mem::take(&mut st.free_scratch);
+            free.clear();
+            free.extend(st.free_since.iter().enumerate().filter_map(|(s, t)| t.map(|t| (t, s))));
             free.sort();
             let mut progressed = false;
-            for (now, s) in free {
+            for &(now, s) in &free {
                 if st.free_since[s].is_none() || st.quarantined[s] {
                     continue;
                 }
@@ -2009,6 +2056,7 @@ impl Runtime {
                     );
                 }
             }
+            st.free_scratch = free;
             if !progressed {
                 return;
             }
@@ -2299,18 +2347,23 @@ impl Runtime {
                         summary.requeued_iters += chunk.len();
                     }
                     completions[s] = out_done;
-                    self.note(ChunkDecision {
-                        slot: s,
-                        device: dev,
-                        range: chunk,
-                        stage: if requeued { "requeue" } else { "chunk" },
-                        predicted_s: None,
-                        source: None,
-                        realized_s: (out_done - grab_at).as_secs(),
-                        requeued,
-                        donor: None,
-                        note: None,
-                    });
+                    // Guarded here (not just inside `note`) so the
+                    // hot per-chunk loop skips building the record
+                    // when the decision log is off.
+                    if self.log_decisions {
+                        self.note(ChunkDecision {
+                            slot: s,
+                            device: dev,
+                            range: chunk,
+                            stage: if requeued { "requeue" } else { "chunk" },
+                            predicted_s: None,
+                            source: None,
+                            realized_s: (out_done - grab_at).as_secs(),
+                            requeued,
+                            donor: None,
+                            note: None,
+                        });
+                    }
                     let mut requarantined = false;
                     if health_on {
                         // A probation device that needed transient

@@ -1,0 +1,103 @@
+//! The trace recording level is a pure observability knob: every
+//! schedule, count, and virtual-time result must be bit-identical
+//! whether the runtime records a full labelled trace, bare spans, or
+//! nothing at all. These tests drive whole offloads through the
+//! runtime at each level and require exact equality — no tolerances.
+
+mod common;
+
+use common::CoverageKernel;
+use homp_core::{Algorithm, OffloadRegion, RuntimeConfig};
+use homp_lang::{DistPolicy, MapDir};
+use homp_sim::{DeviceId, Machine, TraceLevel};
+
+fn region(n: u64, machine: &Machine, alg: Algorithm) -> OffloadRegion {
+    let devices: Vec<DeviceId> = (0..machine.devices.len() as DeviceId).collect();
+    OffloadRegion::builder("axpy")
+        .trip_count(n)
+        .devices(devices)
+        .algorithm(alg)
+        .map_1d("x", MapDir::To, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+        .map_1d("y", MapDir::ToFrom, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
+        .build()
+}
+
+fn suite() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Model2 { cutoff: None },
+        Algorithm::Dynamic { chunk_pct: 2.0 },
+        Algorithm::Guided { chunk_pct: 10.0 },
+        Algorithm::WorkAssist { min_assist_pct: 0.5, cutoff: None },
+    ]
+}
+
+fn run_at(
+    level: TraceLevel,
+    machine: &Machine,
+    n: u64,
+    alg: Algorithm,
+    seed: u64,
+) -> (homp_core::OffloadReport, CoverageKernel) {
+    let mut rt = RuntimeConfig::new().seed(seed).trace_level(level).build(machine.clone());
+    let mut k = CoverageKernel::new(n);
+    let report = rt.offload(&region(n, machine, alg), &mut k).unwrap();
+    (report, k)
+}
+
+/// OFF vs FULL: identical schedules, empty trace.
+#[test]
+fn level_off_changes_nothing_but_the_trace() {
+    let n = 60_000u64;
+    let machine = Machine::four_k40();
+    for alg in suite() {
+        for seed in [7u64, 42] {
+            let (full, kf) = run_at(TraceLevel::Full, &machine, n, alg, seed);
+            let (off, ko) = run_at(TraceLevel::Off, &machine, n, alg, seed);
+            let ctx = format!("alg={alg:?} seed={seed}");
+            assert_eq!(off.makespan, full.makespan, "{ctx}: makespan drifted");
+            assert_eq!(off.counts, full.counts, "{ctx}: per-device counts drifted");
+            assert_eq!(off.chunks, full.chunks, "{ctx}: chunk count drifted");
+            // Trace-*derived* metrics are the one thing OFF gives up:
+            // the breakdown folds an empty trace, so imbalance reads 0.
+            assert_eq!(off.imbalance_pct, 0.0, "{ctx}: empty-trace breakdown must be zero");
+            assert_eq!(ko.hits, kf.hits, "{ctx}: kernel coverage drifted");
+            assert!(
+                off.trace.events().is_empty(),
+                "{ctx}: OFF must record no events"
+            );
+            assert!(
+                !full.trace.events().is_empty(),
+                "{ctx}: FULL must record events"
+            );
+        }
+    }
+}
+
+/// SPANS vs FULL: identical events up to labels (SPANS drops them).
+#[test]
+fn level_spans_keeps_every_event_shape() {
+    let n = 60_000u64;
+    let machine = Machine::four_k40();
+    for alg in suite() {
+        let (full, _) = run_at(TraceLevel::Full, &machine, n, alg, 42);
+        let (spans, _) = run_at(TraceLevel::Spans, &machine, n, alg, 42);
+        let ctx = format!("alg={alg:?}");
+        assert_eq!(
+            spans.trace.events().len(),
+            full.trace.events().len(),
+            "{ctx}: event count drifted"
+        );
+        for (s, f) in spans.trace.events().iter().zip(full.trace.events()) {
+            assert_eq!(
+                (s.device, s.kind, s.start, s.end, s.amount),
+                (f.device, f.kind, f.start, f.end, f.amount),
+                "{ctx}: event shape drifted"
+            );
+        }
+        assert_eq!(
+            spans.trace.label_count(),
+            0,
+            "{ctx}: SPANS must intern no labels"
+        );
+    }
+}

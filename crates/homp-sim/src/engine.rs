@@ -23,9 +23,9 @@ use crate::machine::Machine;
 use crate::memory::UNIFIED_PENALTY;
 use crate::noise::NoiseModel;
 use crate::time::{SimSpan, SimTime};
-use crate::trace::{OpKind, Trace};
+use crate::trace::{OpKind, Trace, TraceLevel};
 use homp_model::roofline::{attainable_rate, KernelIntensity};
-use std::collections::HashMap;
+use std::cell::RefCell;
 
 /// Transfer direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,6 +34,15 @@ pub enum Dir {
     H2D,
     /// Device to host.
     D2H,
+}
+
+/// Lane of a direction within the flat bus calendar (H2D = 0, D2H = 1).
+#[inline]
+fn dir_lane(dir: Dir) -> usize {
+    match dir {
+        Dir::H2D => 0,
+        Dir::D2H => 1,
+    }
 }
 
 /// Within-device scheduling of a chunk among the device's teams
@@ -92,17 +101,51 @@ pub struct Engine {
     compute_free: Vec<SimTime>,
     h2d_free: Vec<SimTime>,
     d2h_free: Vec<SimTime>,
-    bus_free: HashMap<(u32, Dir), SimTime>,
+    /// Flat per-(bus group, direction) calendar: slot
+    /// `bus_idx[dev] * 2 + dir_lane(dir)`. Replaces a
+    /// `HashMap<(u32, Dir), SimTime>` that was probed and re-inserted
+    /// on every transfer — two SipHash rounds on the hottest path.
+    bus_free: Vec<SimTime>,
+    /// Dense bus slot per device, assigned in first-appearance order
+    /// over the machine's devices at construction (machine description
+    /// files may use sparse, arbitrary group ids). `u32::MAX` marks a
+    /// linkless device, which never reaches the bus path.
+    bus_idx: Vec<u32>,
     op_seq: Vec<u64>,
     launch_seq: Vec<u64>,
     faults: FaultPlan,
     trace: Trace,
+    /// Operations submitted over the engine's lifetime (monotone
+    /// telemetry; see [`Engine::ops_submitted`]).
+    ops: u64,
+    /// Reusable per-team accumulator for [`TeamSched::Dynamic`]
+    /// pricing — `compute_span_at` is `&self` (shared with the peek
+    /// path), so the scratch lives in a `RefCell` instead of
+    /// allocating a fresh `Vec` per priced chunk.
+    team_scratch: RefCell<Vec<f64>>,
 }
 
 impl Engine {
     /// New engine over `machine` with the given noise model.
     pub fn new(machine: Machine, noise: NoiseModel) -> Self {
         let n = machine.len();
+        // Dense bus slots: one per distinct group id, in the order the
+        // devices first mention them.
+        let mut groups: Vec<u32> = Vec::new();
+        let bus_idx: Vec<u32> = machine
+            .devices
+            .iter()
+            .map(|d| match d.link {
+                Some(l) => match groups.iter().position(|&g| g == l.bus_group) {
+                    Some(i) => i as u32,
+                    None => {
+                        groups.push(l.bus_group);
+                        (groups.len() - 1) as u32
+                    }
+                },
+                None => u32::MAX,
+            })
+            .collect();
         Self {
             machine,
             noise,
@@ -110,11 +153,14 @@ impl Engine {
             compute_free: vec![SimTime::ZERO; n],
             h2d_free: vec![SimTime::ZERO; n],
             d2h_free: vec![SimTime::ZERO; n],
-            bus_free: HashMap::new(),
+            bus_free: vec![SimTime::ZERO; groups.len() * 2],
+            bus_idx,
             op_seq: vec![0; n],
             launch_seq: vec![0; n],
             faults: FaultPlan::none(),
             trace: Trace::new(),
+            ops: 0,
+            team_scratch: RefCell::new(Vec::new()),
         }
     }
 
@@ -145,7 +191,9 @@ impl Engine {
         for t in &mut self.d2h_free {
             *t = SimTime::ZERO;
         }
-        self.bus_free.clear();
+        for t in &mut self.bus_free {
+            *t = SimTime::ZERO;
+        }
         for s in &mut self.op_seq {
             *s = 0;
         }
@@ -185,9 +233,52 @@ impl Engine {
         &self.trace
     }
 
-    /// Take ownership of the trace, leaving an empty one.
+    /// Take ownership of the trace, leaving an empty one recording at
+    /// the same [`TraceLevel`] (a plain `mem::take` would silently
+    /// reset a throughput run back to `Full`).
     pub fn take_trace(&mut self) -> Trace {
-        std::mem::take(&mut self.trace)
+        let level = self.trace.level();
+        std::mem::replace(&mut self.trace, Trace::with_level(level))
+    }
+
+    /// Set the trace recording level (see [`TraceLevel`]). The virtual
+    /// clock, noise draw order, and every returned completion instant
+    /// are identical at all levels — only what lands in the trace
+    /// changes.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace.set_level(level);
+    }
+
+    /// Current trace recording level.
+    pub fn trace_level(&self) -> TraceLevel {
+        self.trace.level()
+    }
+
+    /// Operations submitted to the engine since it was built: every
+    /// transfer, kernel, launch, fault marker, backoff, failover and
+    /// sync wait — exactly the events a full-level trace would hold.
+    /// Unlike the trace, the counter survives [`Engine::reset`] and
+    /// [`Engine::take_trace`] (it is cumulative telemetry, not replay
+    /// state), so throughput harnesses can read one number across a
+    /// whole multi-offload run.
+    pub fn ops_submitted(&self) -> u64 {
+        self.ops
+    }
+
+    /// Count one submitted operation and append it to the trace
+    /// (subject to the trace's recording level).
+    #[inline]
+    fn record_op(
+        &mut self,
+        dev: DeviceId,
+        kind: OpKind,
+        start: SimTime,
+        end: SimTime,
+        amount: u64,
+        label: &str,
+    ) {
+        self.ops += 1;
+        self.trace.record(dev, kind, start, end, amount, label);
     }
 
     /// When the device's compute engine is next free.
@@ -201,6 +292,7 @@ impl Engine {
         self.h2d_free[dev as usize].max(self.d2h_free[dev as usize])
     }
 
+    #[inline]
     fn next_seq(&mut self, dev: DeviceId) -> u64 {
         let s = &mut self.op_seq[dev as usize];
         *s += 1;
@@ -209,6 +301,7 @@ impl Engine {
 
     /// Noiseless ground-truth duration of `work` on `dev` — the value
     /// noise perturbs, exposed for tests and the profiling module.
+    #[inline]
     pub fn pure_compute_span(&self, dev: DeviceId, work: &ChunkWork<'_>) -> SimSpan {
         let d = &self.machine.devices[dev as usize];
         let rate = attainable_rate(work.intensity, d.sustained_flops(), d.sustained_bw());
@@ -216,6 +309,7 @@ impl Engine {
     }
 
     /// Noiseless ground-truth duration of a `bytes`-byte transfer.
+    #[inline]
     pub fn pure_transfer_span(&self, dev: DeviceId, bytes: u64) -> SimSpan {
         let d = &self.machine.devices[dev as usize];
         match (d.memory, d.link) {
@@ -262,8 +356,10 @@ impl Engine {
     }
 
     /// Release the transfer resources a (possibly failed) transfer held
-    /// until `end`.
-    fn commit_transfer(&mut self, dev: DeviceId, dir: Dir, group: u32, end: SimTime) {
+    /// until `end`. `bus_slot` is the flat calendar slot computed by
+    /// [`Engine::transfer_impl`].
+    #[inline]
+    fn commit_transfer(&mut self, dev: DeviceId, dir: Dir, bus_slot: usize, end: SimTime) {
         match dir {
             Dir::H2D => self.h2d_free[dev as usize] = end,
             Dir::D2H => self.d2h_free[dev as usize] = end,
@@ -272,7 +368,7 @@ impl Engine {
             self.h2d_free[dev as usize] = self.h2d_free[dev as usize].max(end);
             self.d2h_free[dev as usize] = self.d2h_free[dev as usize].max(end);
         }
-        self.bus_free.insert((group, dir), end);
+        self.bus_free[bus_slot] = end;
         if !self.overlap {
             self.compute_free[dev as usize] = self.compute_free[dev as usize].max(end);
         }
@@ -295,9 +391,12 @@ impl Engine {
         let jitter = self.noise.factor(dev, seq);
         let mut span = span.scale(jitter);
 
-        let d = &self.machine.devices[dev as usize];
-        let group = d.link.expect("non-shared device has a link").bus_group;
-        let bus_free = *self.bus_free.get(&(group, dir)).unwrap_or(&SimTime::ZERO);
+        // A nonzero span implies a linked device (shared/linkless
+        // devices short-circuit above), so the slot is always dense.
+        let bi = self.bus_idx[dev as usize];
+        debug_assert_ne!(bi, u32::MAX, "non-shared device has a link");
+        let bus_slot = bi as usize * 2 + dir_lane(dir);
+        let bus_free = self.bus_free[bus_slot];
         let engine_free = match dir {
             Dir::H2D => self.h2d_free[dev as usize],
             Dir::D2H => self.d2h_free[dev as usize],
@@ -317,7 +416,7 @@ impl Engine {
             let stretch = self.faults.slowdown_factor(dev, start);
             if stretch != 1.0 {
                 span = span.scale(stretch);
-                self.trace.record(
+                self.record_op(
                     dev,
                     OpKind::Fault,
                     start,
@@ -333,7 +432,7 @@ impl Engine {
                 if tf == start {
                     // The device is already gone; the proxy discovers it
                     // the moment it tries to submit.
-                    self.trace.record(
+                    self.record_op(
                         dev,
                         OpKind::Fault,
                         start,
@@ -345,8 +444,8 @@ impl Engine {
                 }
                 // The transfer dies mid-flight; bus and engine are
                 // held until the failure instant.
-                self.commit_transfer(dev, dir, group, tf);
-                self.trace.record(
+                self.commit_transfer(dev, dir, bus_slot, tf);
+                self.record_op(
                     dev,
                     OpKind::Fault,
                     start,
@@ -363,8 +462,8 @@ impl Engine {
                     .map(|p| SimSpan::from_secs(p.dma_error_latency))
                     .unwrap_or(SimSpan::ZERO);
                 let fail_end = start + latency;
-                self.commit_transfer(dev, dir, group, fail_end);
-                self.trace.record(
+                self.commit_transfer(dev, dir, bus_slot, fail_end);
+                self.record_op(
                     dev,
                     OpKind::Fault,
                     start,
@@ -375,12 +474,12 @@ impl Engine {
                 return Err(Fault { device: dev, kind: FaultKind::TransientDma, at: fail_end });
             }
         }
-        self.commit_transfer(dev, dir, group, end);
+        self.commit_transfer(dev, dir, bus_slot, end);
         let kind = match dir {
             Dir::H2D => OpKind::H2D,
             Dir::D2H => OpKind::D2H,
         };
-        self.trace.record(dev, kind, start, end, bytes, label);
+        self.record_op(dev, kind, start, end, bytes, label);
         Ok(end)
     }
 
@@ -460,7 +559,7 @@ impl Engine {
             let stretch = self.faults.slowdown_factor(dev, start);
             if stretch != 1.0 {
                 span = span.scale(stretch);
-                self.trace.record(
+                self.record_op(
                     dev,
                     OpKind::Fault,
                     start,
@@ -481,7 +580,7 @@ impl Engine {
             self.h2d_free[dev as usize] = self.h2d_free[dev as usize].max(end);
             self.d2h_free[dev as usize] = self.d2h_free[dev as usize].max(end);
         }
-        self.trace.record(dev, OpKind::Kernel, start, end, work.iters, label);
+        self.record_op(dev, OpKind::Kernel, start, end, work.iters, label);
         Ok(end)
     }
 
@@ -524,7 +623,9 @@ impl Engine {
                 let pure = self.pure_compute_span(dev, work).as_secs();
                 let per_iter = pure / work.iters as f64 * teams as f64;
                 let subchunks = teams * 8;
-                let mut team_free = vec![0.0f64; teams as usize];
+                let mut team_free = self.team_scratch.borrow_mut();
+                team_free.clear();
+                team_free.resize(teams as usize, 0.0);
                 let base = work.iters / subchunks;
                 let rem = work.iters % subchunks;
                 for c in 0..subchunks {
@@ -589,11 +690,11 @@ impl Engine {
     ) -> Option<Fault> {
         let tf = self.faults.dropout_at(dev, start, end)?;
         if tf == start {
-            self.trace.record(dev, OpKind::Fault, start, start, 0, &format!("{label} [dropout]"));
+            self.record_op(dev, OpKind::Fault, start, start, 0, &format!("{label} [dropout]"));
             return Some(Fault { device: dev, kind: FaultKind::Dropout, at: start });
         }
         self.compute_free[dev as usize] = tf;
-        self.trace.record(dev, OpKind::Fault, start, tf, amount, &format!("{label} [dropout]"));
+        self.record_op(dev, OpKind::Fault, start, tf, amount, &format!("{label} [dropout]"));
         Some(Fault { device: dev, kind: FaultKind::Dropout, at: tf })
     }
 
@@ -645,7 +746,7 @@ impl Engine {
                     .unwrap_or(SimSpan::ZERO);
                 let fail_end = start + latency;
                 self.compute_free[dev as usize] = fail_end;
-                self.trace.record(
+                self.record_op(
                     dev,
                     OpKind::Fault,
                     start,
@@ -657,7 +758,7 @@ impl Engine {
             }
         }
         self.compute_free[dev as usize] = end;
-        self.trace.record(dev, OpKind::Init, start, end, 0, label);
+        self.record_op(dev, OpKind::Init, start, end, 0, label);
         Ok(end)
     }
 
@@ -672,7 +773,7 @@ impl Engine {
         label: &str,
     ) -> SimTime {
         let end = from + span;
-        self.trace.record(dev, OpKind::Backoff, from, end, 0, label);
+        self.record_op(dev, OpKind::Backoff, from, end, 0, label);
         end
     }
 
@@ -689,7 +790,7 @@ impl Engine {
         let start = from.max(self.compute_free[dev as usize]);
         let end = start + span;
         self.compute_free[dev as usize] = end;
-        self.trace.record(dev, OpKind::Failover, start, end, 0, label);
+        self.record_op(dev, OpKind::Failover, start, end, 0, label);
         end
     }
 
@@ -702,7 +803,7 @@ impl Engine {
         let release = completions.iter().copied().max().unwrap_or(SimTime::ZERO);
         for (&d, &c) in devices.iter().zip(completions) {
             if release > c {
-                self.trace.record(d, OpKind::Sync, c, release, 0, "barrier");
+                self.record_op(d, OpKind::Sync, c, release, 0, "barrier");
             }
             self.compute_free[d as usize] = self.compute_free[d as usize].max(release);
             self.h2d_free[d as usize] = self.h2d_free[d as usize].max(release);
@@ -1032,6 +1133,49 @@ mod tests {
         );
         assert!(e2.try_transfer(0, 1 << 20, Dir::H2D, SimTime::ZERO, "x").is_ok());
         assert!(e2.try_launch(0, SimTime::ZERO, "l").is_ok());
+    }
+
+    #[test]
+    fn trace_level_never_perturbs_the_clock() {
+        let k = axpy_intensity();
+        let run = |level: TraceLevel| {
+            let mut e = Engine::new(Machine::four_k40(), NoiseModel::new(3, 0.05));
+            e.set_trace_level(level);
+            let mut last = SimTime::ZERO;
+            for _ in 0..10 {
+                let t = e.transfer(0, 1 << 20, Dir::H2D, last, "x");
+                last = e.compute(0, &ChunkWork::new(10_000, &k), t, "c");
+            }
+            (last, e.ops_submitted(), e.trace().len())
+        };
+        let (t_full, ops_full, ev_full) = run(TraceLevel::Full);
+        let (t_spans, ops_spans, ev_spans) = run(TraceLevel::Spans);
+        let (t_off, ops_off, ev_off) = run(TraceLevel::Off);
+        assert_eq!(t_full, t_spans, "Spans must not shift the clock");
+        assert_eq!(t_full, t_off, "Off must not shift the clock");
+        assert_eq!(ops_full, ops_spans);
+        assert_eq!(ops_full, ops_off, "ops counter is level-independent");
+        assert_eq!(ev_full, 20);
+        assert_eq!(ev_spans, 20, "Spans keeps every event");
+        assert_eq!(ev_off, 0, "Off records nothing");
+        assert_eq!(ops_full, ev_full as u64, "at Full, ops == trace length");
+    }
+
+    #[test]
+    fn ops_counter_is_cumulative_and_take_trace_keeps_level() {
+        let k = axpy_intensity();
+        let mut e = Engine::noiseless(Machine::four_k40());
+        e.set_trace_level(TraceLevel::Off);
+        let t = e.transfer(0, 1 << 20, Dir::H2D, SimTime::ZERO, "x");
+        e.compute(0, &ChunkWork::new(10, &k), t, "c");
+        assert_eq!(e.ops_submitted(), 2);
+        assert!(e.trace().is_empty(), "Off: nothing recorded");
+        e.reset();
+        assert_eq!(e.ops_submitted(), 2, "reset keeps the telemetry counter");
+        let taken = e.take_trace();
+        assert_eq!(taken.level(), TraceLevel::Off);
+        assert_eq!(e.trace_level(), TraceLevel::Off, "take_trace preserves the level");
+        assert_eq!(e.ops_submitted(), 2, "take_trace keeps the telemetry counter");
     }
 
     #[test]

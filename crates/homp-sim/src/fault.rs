@@ -304,7 +304,14 @@ impl FaultPlan {
     }
 
     /// The device's program, if it has one.
+    #[inline]
     pub fn device(&self, device: DeviceId) -> Option<&DeviceFaultPlan> {
+        // Fast path for the overwhelmingly common no-plan case: the
+        // engine probes the plan several times per simulated operation,
+        // and hashing the key costs more than this length check.
+        if self.devices.is_empty() {
+            return None;
+        }
         self.devices.get(&device)
     }
 
@@ -323,6 +330,7 @@ impl FaultPlan {
     /// fails (the device is already gone); a later instant means the
     /// operation dies mid-flight at the dropout. Operations starting at
     /// or after a scripted recovery succeed again.
+    #[inline]
     pub fn dropout_at(&self, device: DeviceId, start: SimTime, end: SimTime) -> Option<SimTime> {
         let p = self.device(device)?;
         let tf = SimTime::from_secs(p.fail_at?);
@@ -342,6 +350,7 @@ impl FaultPlan {
 
     /// Duration multiplier for an operation starting at `at` on
     /// `device` (1.0 when no slowdown window covers the instant).
+    #[inline]
     pub fn slowdown_factor(&self, device: DeviceId, at: SimTime) -> f64 {
         match self.device(device).and_then(|p| p.slowdown) {
             Some(w) if w.contains(at) => w.factor,
@@ -379,6 +388,7 @@ impl FaultPlan {
     /// same hash words as the base draw and `bernoulli` is monotone in
     /// the rate, so outside the window (and whenever the window rate is
     /// not higher) the outcome is identical to the base draw.
+    #[inline]
     pub fn dma_fault_at(&self, device: DeviceId, seq: u64, at: SimTime) -> bool {
         match self.device(device) {
             Some(p) => {
@@ -394,6 +404,7 @@ impl FaultPlan {
 
     /// Like [`FaultPlan::launch_fault`], but window-aware (see
     /// [`FaultPlan::dma_fault_at`]).
+    #[inline]
     pub fn launch_fault_at(&self, device: DeviceId, seq: u64, at: SimTime) -> bool {
         match self.device(device) {
             Some(p) => {

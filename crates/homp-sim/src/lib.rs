@@ -47,4 +47,4 @@ pub use metrics::{DeviceMetrics, Metrics, TransferStats};
 pub use noise::NoiseModel;
 pub use profile::{profile_device, profile_machine, solve_hockney};
 pub use time::{SimSpan, SimTime};
-pub use trace::{Breakdown, LabelId, OpKind, Trace, TraceEvent};
+pub use trace::{Breakdown, LabelId, OpKind, Trace, TraceEvent, TraceLevel};

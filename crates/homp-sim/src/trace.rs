@@ -83,6 +83,41 @@ impl std::fmt::Display for OpKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LabelId(u32);
 
+impl LabelId {
+    /// Sentinel id used at [`TraceLevel::Spans`], where events skip the
+    /// label table entirely. Resolves to the empty string.
+    pub const UNLABELED: LabelId = LabelId(u32::MAX);
+}
+
+/// How much the trace records per simulated operation.
+///
+/// The recorder sits on the hottest path of the simulator — every
+/// transfer, kernel, and barrier appends one event — so scheduling-only
+/// workloads (parameter sweeps, torture benches) can dial recording
+/// down without touching the calendar math: the virtual clock, noise
+/// draw order, and scheduling decisions are bit-identical at every
+/// level.
+///
+/// What the lower levels give up is trace-*derived* observability:
+/// at [`TraceLevel::Off`] a [`Breakdown`] folds an empty event list,
+/// so utilization, per-kind busy times, and the imbalance metric all
+/// read zero even though the schedule they would have described is
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TraceLevel {
+    /// Record nothing. `events()` stays empty; breakdowns and renders
+    /// are vacuous. Cheapest: the append is skipped entirely.
+    Off,
+    /// Record every event's device/kind/times/amount but skip label
+    /// interning; events carry [`LabelId::UNLABELED`]. Breakdowns,
+    /// makespan, and imbalance stay exact; only label text is lost.
+    Spans,
+    /// Record everything, labels included. The default — existing
+    /// goldens (CSV, Chrome JSON, reports) are byte-identical.
+    #[default]
+    Full,
+}
+
 /// One recorded operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
@@ -115,12 +150,30 @@ pub struct Trace {
     /// tiny (a handful of fixed stage names plus the kernel names), so
     /// a linear probe beats a hash map here.
     labels: Vec<Box<str>>,
+    /// Recording level; see [`TraceLevel`].
+    level: TraceLevel,
 }
 
 impl Trace {
     /// Empty trace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty trace recording at `level`.
+    pub fn with_level(level: TraceLevel) -> Self {
+        Self { level, ..Self::default() }
+    }
+
+    /// Current recording level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Change the recording level. Takes effect for subsequent
+    /// [`Trace::record`] calls; already-recorded events are kept.
+    pub fn set_level(&mut self, level: TraceLevel) {
+        self.level = level;
     }
 
     /// Intern `label`, returning its id (existing id if already seen).
@@ -135,11 +188,15 @@ impl Trace {
     }
 
     /// Resolve an interned label id back to its text.
+    /// [`LabelId::UNLABELED`] resolves to the empty string.
     pub fn label(&self, id: LabelId) -> &str {
+        if id == LabelId::UNLABELED {
+            return "";
+        }
         &self.labels[id.0 as usize]
     }
 
-    /// Record an operation.
+    /// Record an operation, subject to the recording [`TraceLevel`].
     pub fn record(
         &mut self,
         device: DeviceId,
@@ -150,7 +207,11 @@ impl Trace {
         label: &str,
     ) {
         debug_assert!(end >= start, "event ends before it starts");
-        let label = self.intern(label);
+        let label = match self.level {
+            TraceLevel::Off => return,
+            TraceLevel::Spans => LabelId::UNLABELED,
+            TraceLevel::Full => self.intern(label),
+        };
         self.events.push(TraceEvent { device, kind, start, end, amount, label });
     }
 
@@ -169,11 +230,28 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Drop all events (reuse between regions). The interned label
-    /// table is kept — ids from earlier regions stay valid, and a
-    /// rewound engine re-records the same labels anyway.
+    /// Drop all events (reuse between regions).
+    ///
+    /// Steady-state reuse is allocation-free: the event buffer's
+    /// capacity is retained (`Vec::clear` never shrinks), and the
+    /// interned label table is kept in full — ids from earlier regions
+    /// stay valid, and a rewound engine re-records the same labels, so
+    /// the second run of a reseeded runtime interns nothing new (see
+    /// [`Trace::label_count`]). The recording level is also unchanged.
     pub fn clear(&mut self) {
         self.events.clear();
+    }
+
+    /// Number of distinct labels interned so far. Stable across
+    /// [`Trace::clear`]; useful for asserting steady-state reuse.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Capacity of the event buffer — retained across [`Trace::clear`]
+    /// so steady-state reuse does not reallocate.
+    pub fn events_capacity(&self) -> usize {
+        self.events.capacity()
     }
 
     /// The latest end time across all events (the region makespan).
@@ -301,17 +379,24 @@ impl Trace {
                 *c = glyph;
             }
         }
-        let mut out = String::new();
+        // One buffer, written with `fmt::Write` like `to_csv` — no
+        // per-row `format!` temporaries.
+        let mut out = String::with_capacity((rows_n + 1) * (width + 9));
         for (d, row) in rows.iter().enumerate() {
-            out.push_str(&format!("{:<5}|", format!("dev{d}")));
+            let head = out.len();
+            let _ = write!(out, "dev{d}");
+            while out.len() - head < 5 {
+                out.push(' ');
+            }
+            out.push('|');
             out.extend(row.iter());
             out.push_str("|\n");
         }
-        out.push_str(&format!(
-            "       0 {:>width$}\n",
-            format!("{:.3} ms", total * 1e3),
-            width = width.saturating_sub(2)
-        ));
+        // The axis label right-aligns a composite ("X.XXX ms"), which
+        // needs one small staging string; rows above stay churn-free.
+        let mut ms = String::with_capacity(16);
+        let _ = write!(ms, "{:.3} ms", total * 1e3);
+        let _ = writeln!(out, "       0 {ms:>width$}", width = width.saturating_sub(2));
         out
     }
 }
@@ -545,6 +630,68 @@ mod tests {
         tr.record(0, OpKind::Kernel, t(0.0), t(1.0), 1, "axpy");
         assert_eq!(tr.events()[0].label, id, "re-recorded label reuses its id");
         assert_eq!(tr.label(id), "axpy");
+    }
+
+    #[test]
+    fn clear_retains_event_capacity_and_labels() {
+        let mut tr = Trace::new();
+        for i in 0..100 {
+            tr.record(0, OpKind::Kernel, t(i as f64), t(i as f64 + 0.5), 1, "axpy");
+            tr.record(0, OpKind::H2D, t(i as f64), t(i as f64 + 0.1), 8, "chunk-in");
+        }
+        let cap = tr.events_capacity();
+        let labels = tr.label_count();
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.events_capacity(), cap, "clear must not shrink the event buffer");
+        assert_eq!(tr.label_count(), labels, "clear must keep the label table");
+        // Second run re-records the same labels: zero re-interning.
+        for i in 0..100 {
+            tr.record(0, OpKind::Kernel, t(i as f64), t(i as f64 + 0.5), 1, "axpy");
+            tr.record(0, OpKind::H2D, t(i as f64), t(i as f64 + 0.1), 8, "chunk-in");
+        }
+        assert_eq!(tr.label_count(), labels, "steady state interns no new labels");
+        assert_eq!(tr.events_capacity(), cap, "steady state reallocates nothing");
+    }
+
+    #[test]
+    fn level_off_records_nothing() {
+        let mut tr = Trace::with_level(TraceLevel::Off);
+        tr.record(0, OpKind::Kernel, t(0.0), t(1.0), 1, "axpy");
+        assert!(tr.is_empty());
+        assert_eq!(tr.label_count(), 0, "no interning at Off");
+        assert_eq!(tr.level(), TraceLevel::Off);
+    }
+
+    #[test]
+    fn level_spans_keeps_times_drops_labels() {
+        let mut full = Trace::new();
+        let mut spans = Trace::with_level(TraceLevel::Spans);
+        for tr in [&mut full, &mut spans] {
+            tr.record(0, OpKind::Kernel, t(0.0), t(3.0), 5, "axpy");
+            tr.record(1, OpKind::H2D, t(0.0), t(1.0), 64, "chunk-in");
+        }
+        assert_eq!(spans.len(), full.len());
+        assert_eq!(spans.label_count(), 0, "no interning at Spans");
+        assert_eq!(spans.label(spans.events()[0].label), "");
+        // Breakdown math is identical to Full.
+        let (bf, bs) = (full.breakdown(2), spans.breakdown(2));
+        assert_eq!(bs.makespan(), bf.makespan());
+        assert_eq!(bs.busy(0, OpKind::Kernel), bf.busy(0, OpKind::Kernel));
+        assert_eq!(bs.imbalance_pct(), bf.imbalance_pct());
+    }
+
+    #[test]
+    fn default_level_is_full() {
+        assert_eq!(Trace::new().level(), TraceLevel::Full);
+        let mut tr = Trace::new();
+        tr.set_level(TraceLevel::Off);
+        tr.record(0, OpKind::Kernel, t(0.0), t(1.0), 1, "k");
+        tr.set_level(TraceLevel::Full);
+        tr.record(0, OpKind::Kernel, t(1.0), t(2.0), 1, "k");
+        assert_eq!(tr.len(), 1, "only the Full-level record lands");
+        tr.clear();
+        assert_eq!(tr.level(), TraceLevel::Full, "clear keeps the level");
     }
 
     #[test]

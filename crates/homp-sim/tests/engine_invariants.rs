@@ -3,7 +3,7 @@
 //! backwards, and replays are bit-identical.
 
 use homp_model::KernelIntensity;
-use homp_sim::{ChunkWork, Dir, Engine, Machine, NoiseModel, OpKind, SimTime, TraceEvent};
+use homp_sim::{ChunkWork, Dir, Engine, Machine, NoiseModel, OpKind, SimTime, Trace, TraceEvent};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -72,8 +72,125 @@ fn resource(e: &TraceEvent) -> Option<(u32, u8)> {
     }
 }
 
+/// Reference recompute of the no-fault scheduling rules with the *old*
+/// `HashMap<(group, Dir), SimTime>` bus calendar, for checking the
+/// engine's flat dense-array calendar against. Pricing (pure spans,
+/// noise draws) is shared with the engine; only the calendar
+/// bookkeeping is re-derived.
+fn reference_replay(engine: &Engine, noise: &NoiseModel, ops: &[Op]) -> Trace {
+    let k = intensity();
+    let n = engine.n_devices();
+    let mut compute_free = vec![SimTime::ZERO; n];
+    let mut h2d_free = vec![SimTime::ZERO; n];
+    let mut d2h_free = vec![SimTime::ZERO; n];
+    let mut op_seq = vec![0u64; n];
+    let mut bus: std::collections::HashMap<(u32, Dir), SimTime> =
+        std::collections::HashMap::new();
+    let mut tr = Trace::new();
+    for op in ops {
+        match *op {
+            Op::Transfer { dev, bytes, dir, after_ms } => {
+                let ready = SimTime::from_secs(after_ms * 1e-3);
+                let span = engine.pure_transfer_span(dev, bytes);
+                if span == homp_sim::SimSpan::ZERO {
+                    continue;
+                }
+                op_seq[dev as usize] += 1;
+                let span = span.scale(noise.factor(dev, op_seq[dev as usize]));
+                let group = engine.machine().devices[dev as usize]
+                    .link
+                    .expect("linked device")
+                    .bus_group;
+                let bus_free = *bus.get(&(group, dir)).unwrap_or(&SimTime::ZERO);
+                let engine_free = match dir {
+                    Dir::H2D => h2d_free[dev as usize],
+                    Dir::D2H => d2h_free[dev as usize],
+                };
+                let start = ready.max(engine_free).max(bus_free);
+                let end = start + span;
+                match dir {
+                    Dir::H2D => h2d_free[dev as usize] = end,
+                    Dir::D2H => d2h_free[dev as usize] = end,
+                }
+                bus.insert((group, dir), end);
+                let kind = match dir {
+                    Dir::H2D => OpKind::H2D,
+                    Dir::D2H => OpKind::D2H,
+                };
+                tr.record(dev, kind, start, end, bytes, "t");
+            }
+            Op::Compute { dev, iters, after_ms } => {
+                let ready = SimTime::from_secs(after_ms * 1e-3);
+                if iters == 0 {
+                    continue;
+                }
+                op_seq[dev as usize] += 1;
+                let span = engine
+                    .pure_compute_span(dev, &ChunkWork::new(iters, &k))
+                    .scale(noise.factor(dev, op_seq[dev as usize]));
+                let start = ready.max(compute_free[dev as usize]);
+                let end = start + span;
+                compute_free[dev as usize] = end;
+                tr.record(dev, OpKind::Kernel, start, end, iters, "c");
+            }
+            Op::Launch { dev, after_ms } => {
+                let ready = SimTime::from_secs(after_ms * 1e-3);
+                let span = homp_sim::SimSpan::from_secs(
+                    engine.machine().devices[dev as usize].launch_overhead,
+                );
+                let start = ready.max(compute_free[dev as usize]);
+                let end = start + span;
+                compute_free[dev as usize] = end;
+                tr.record(dev, OpKind::Init, start, end, 0, "l");
+            }
+        }
+    }
+    tr
+}
+
+/// A K40 machine with arbitrary (possibly sparse, repeated) bus group
+/// ids — the shapes a machine description file may produce.
+fn arb_grouped_machine() -> impl Strategy<Value = Machine> {
+    proptest::collection::vec(
+        prop_oneof![Just(0u32), Just(1), Just(3), Just(7), Just(100), Just(9999)],
+        1..9,
+    )
+    .prop_map(|groups| {
+        let devices = groups
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| homp_sim::device::nvidia_k40(i as u32, g))
+            .collect();
+        Machine::new("grouped", devices)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn flat_bus_calendar_matches_hashmap_reference(
+        machine in arb_grouped_machine(),
+        mut ops in proptest::collection::vec(arb_op(64), 1..60),
+        seed in 0u64..1000,
+    ) {
+        // Ops are drawn for up to 64 devices; fold them onto the
+        // machine that was actually generated.
+        let n = machine.devices.len() as u32;
+        for op in &mut ops {
+            match op {
+                Op::Transfer { dev, .. } | Op::Compute { dev, .. } | Op::Launch { dev, .. } => {
+                    *dev %= n;
+                }
+            }
+        }
+        let noise = NoiseModel::new(seed, 0.05);
+        let mut e = Engine::new(machine, noise);
+        apply(&mut e, &ops);
+        let expect = reference_replay(&e, &noise, &ops);
+        // Byte-identical traces: same starts, ends, order, amounts.
+        prop_assert_eq!(e.trace().to_csv(), expect.to_csv());
+    }
 
     #[test]
     fn no_resource_overlap_and_monotone_time(
