@@ -294,8 +294,14 @@ impl FaultSummary {
 pub struct OffloadReport {
     /// The algorithm that actually ran (AUTO resolved to a concrete one).
     pub algorithm: Algorithm,
-    /// Virtual time from region start to the end barrier.
+    /// Virtual time from region dispatch to the end barrier.
     pub makespan: SimSpan,
+    /// Absolute virtual instant of the end barrier. Equals `makespan`
+    /// past time zero for the classic entry points; later when the
+    /// region was dispatched onto busy calendars via
+    /// [`Runtime::offload_at`] (the service layer's request-latency
+    /// clock reads this).
+    pub completed_at: SimTime,
     /// Participating devices, in slot order.
     pub devices: Vec<DeviceId>,
     /// Iterations executed per slot.
@@ -512,6 +518,13 @@ pub struct Runtime {
     /// Per-device memory spaces backing the data environment's
     /// persistent allocations, indexed by device ID.
     mem: Vec<MemorySpace>,
+    /// Virtual instant the current offload was dispatched at. Zero for
+    /// the classic one-region-at-a-time entry points; a later instant
+    /// when a service layer dispatches a region onto already-busy
+    /// calendars via [`Runtime::offload_at`]. Every scheduler path
+    /// anchors its first ops here, and [`OffloadReport::makespan`] is
+    /// measured from it.
+    dispatch_base: SimTime,
 }
 
 /// What closing a `target data` region did: the deferred dirty
@@ -683,6 +696,7 @@ impl Runtime {
             decisions: Vec::new(),
             data_env: DataEnv::default(),
             mem,
+            dispatch_base: SimTime::ZERO,
         }
     }
 
@@ -707,6 +721,7 @@ impl Runtime {
             decisions: Vec::new(),
             data_env: DataEnv::default(),
             mem,
+            dispatch_base: SimTime::ZERO,
         }
     }
 
@@ -1063,6 +1078,7 @@ impl Runtime {
             self.check_capacity(&slots, &data, 0, Some(&plan_counts))?;
             self.engine.reset();
             self.decisions.clear();
+            self.dispatch_base = SimTime::ZERO;
             let pred = self.log_decisions.then(|| Predictions {
                 source: PredictionSource::History,
                 per_slot: plan_counts
@@ -1121,6 +1137,46 @@ impl Runtime {
         kernel: &mut dyn LoopKernel,
         data_resident: bool,
     ) -> Result<OffloadReport, OffloadError> {
+        self.offload_inner(region, kernel, data_resident, SimTime::ZERO, true)
+    }
+
+    /// Dispatch a region onto the engine's calendars *as they stand*, at
+    /// virtual instant `at` — the multi-tenant entry point.
+    ///
+    /// Unlike [`Runtime::offload`] this does **not** reset the engine:
+    /// the region's first operations become ready at `at` and queue
+    /// behind whatever earlier regions already occupy each resource
+    /// (every engine op starts at `max(ready, resource_free)`), so N
+    /// in-flight regions genuinely share devices on the virtual clock.
+    /// The report's [`OffloadReport::makespan`] is measured from `at`
+    /// and [`OffloadReport::completed_at`] is the absolute end barrier.
+    ///
+    /// Dispatches must be issued in non-decreasing `at` order: resource
+    /// calendars only move forward, so a region dispatched at an
+    /// earlier instant than one already committed cannot back-fill the
+    /// idle time before it.
+    ///
+    /// A single dispatch at `at = SimTime::ZERO` on a fresh (or
+    /// [`Runtime::reset_with_seed`]-rewound) runtime is byte-identical
+    /// to [`Runtime::offload`] — traces, decisions and report included.
+    pub fn offload_at(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+        data_resident: bool,
+        at: SimTime,
+    ) -> Result<OffloadReport, OffloadError> {
+        self.offload_inner(region, kernel, data_resident, at, false)
+    }
+
+    fn offload_inner(
+        &mut self,
+        region: &OffloadRegion,
+        kernel: &mut dyn LoopKernel,
+        data_resident: bool,
+        at: SimTime,
+        reset: bool,
+    ) -> Result<OffloadReport, OffloadError> {
         let slots: &[DeviceId] = &region.devices;
         for &d in slots {
             if d as usize >= self.engine.n_devices() {
@@ -1153,13 +1209,16 @@ impl Runtime {
             _ => {}
         }
 
-        self.engine.reset();
+        if reset {
+            self.engine.reset();
+        }
         self.decisions.clear();
+        self.dispatch_base = at;
 
         // Serialized offload (plain multi-device `target` without
         // `parallel`): proxy i may only start once proxy i-1 has issued
         // its launch + fixed transfer.
-        let mut base_ready = vec![SimTime::ZERO; n];
+        let mut base_ready = vec![at; n];
 
         let slot_params: Vec<DeviceParams> =
             slots.iter().map(|&d| self.params[d as usize]).collect();
@@ -1496,7 +1555,7 @@ impl Runtime {
                 .zip(quarantined.iter())
                 .filter(|(_, &q)| q)
                 .map(|(c, _)| *c)
-                .fold(SimTime::ZERO, SimTime::max);
+                .fold(self.dispatch_base, SimTime::max);
             let survivors: Vec<usize> =
                 (0..slots.len()).filter(|&s| !quarantined[s]).collect();
             if survivors.is_empty() {
@@ -1603,8 +1662,8 @@ impl Runtime {
         } else {
             self.data_env.plan_static(region, plan, counts, slots, &mut self.mem)?
         };
-        let mut completions = vec![SimTime::ZERO; n];
-        let mut serial_cursor = SimTime::ZERO;
+        let mut completions = vec![self.dispatch_base; n];
+        let mut serial_cursor = self.dispatch_base;
         let mut range = Range::new(0, region.trip_count);
         let mut chunks = 0u64;
         let mut exec_counts = vec![0u64; n];
@@ -1819,7 +1878,7 @@ impl Runtime {
         let mut st = AssistState::new(n);
 
         // Phase 1: initial shares, serialized like the static path.
-        let mut serial_cursor = SimTime::ZERO;
+        let mut serial_cursor = self.dispatch_base;
         let mut range = Range::new(0, region.trip_count);
         for (s, &dev) in slots.iter().enumerate() {
             let my = range.take(mp.counts[s]);
@@ -2159,10 +2218,11 @@ impl Runtime {
         } else {
             self.data_env.plan_fixed(region, plan, slots, &mut self.mem)?
         };
+        let base = self.dispatch_base;
         let mut queue = ChunkQueue::new(region.trip_count, n);
         let mut counts = vec![0u64; n];
-        let mut completions = vec![SimTime::ZERO; n];
-        let mut prev_comp_end = vec![SimTime::ZERO; n];
+        let mut completions = vec![base; n];
+        let mut prev_comp_end = vec![base; n];
         let mut quarantined = vec![false; n];
         let mut summary = FaultSummary::default();
         let overhead = SimSpan::from_micros(self.faults.requeue_overhead_us);
@@ -2191,9 +2251,9 @@ impl Runtime {
         // Fixed transfers first (unless the data region already mapped
         // them), serialized per the non-parallel option. A device that
         // faults out of its setup never enters the chunk race.
-        let mut serial_cursor = SimTime::ZERO;
+        let mut serial_cursor = base;
         for (s, &dev) in slots.iter().enumerate() {
-            let base = if region.parallel_offload { SimTime::ZERO } else { serial_cursor };
+            let base = if region.parallel_offload { base } else { serial_cursor };
             let fixed_in = match &env {
                 Some(t) => t.h2d[s],
                 None => plan.h2d_fixed_bytes(s),
@@ -2436,7 +2496,7 @@ impl Runtime {
                 .zip(quarantined.iter())
                 .filter(|(_, &q)| q)
                 .map(|(c, _)| *c)
-                .fold(SimTime::ZERO, SimTime::max);
+                .fold(self.dispatch_base, SimTime::max);
             let end = self.host_fallback(region, kernel, &leftover, known_at, &mut summary);
             completions[0] = completions[0].max(end);
         }
@@ -2507,10 +2567,11 @@ impl Runtime {
         } else {
             self.data_env.plan_fixed(region, plan, slots, &mut self.mem)?
         };
+        let dispatch_base = self.dispatch_base;
         let mut range = Range::new(0, region.trip_count);
         let mut counts = vec![0u64; n];
         let mut throughputs = vec![0.0f64; n];
-        let mut stage1_end = vec![SimTime::ZERO; n];
+        let mut stage1_end = vec![dispatch_base; n];
         let mut chunks = 0u64;
         let mut quarantined = vec![false; n];
         let mut failed: VecDeque<Range> = VecDeque::new();
@@ -2520,10 +2581,10 @@ impl Runtime {
         // A device that faults out of stage 1 keeps zero throughput, so
         // the stage-2 planner assigns it nothing; its sample re-runs on
         // the survivors at the end.
-        let mut serial_cursor = SimTime::ZERO;
+        let mut serial_cursor = dispatch_base;
         for (s, &dev) in slots.iter().enumerate() {
             let my = range.take(samples[s]);
-            let base = if region.parallel_offload { SimTime::ZERO } else { serial_cursor };
+            let base = if region.parallel_offload { dispatch_base } else { serial_cursor };
             let fixed = match &env {
                 Some(t) => t.h2d[s],
                 None if data_resident => 0,
@@ -2706,7 +2767,8 @@ impl Runtime {
         };
         OffloadReport {
             algorithm,
-            makespan: release - SimTime::ZERO,
+            makespan: release - self.dispatch_base,
+            completed_at: release,
             devices: slots.to_vec(),
             counts,
             kept_devices,

@@ -87,6 +87,18 @@ pub struct HealthPolicy {
     pub probe_interval_us: f64,
     /// Probes to attempt before giving a device up for dead.
     pub max_probes: u32,
+    /// Per-chunk decay of the peak-throughput reference toward the
+    /// current EWMA, in `(0, 1]`. The peak is meant to be a *recent*
+    /// capability estimate; at `1.0` it becomes an all-time ratchet and
+    /// a single anomalously fast chunk (noise spike, cold-cache
+    /// artifact) permanently raises the bar — a device running at its
+    /// true steady rate would then sit Degraded forever against a
+    /// moment it never repeats. Values below 1.0 forget such outliers
+    /// over roughly `1 / (1 - peak_decay)` chunks. Must decay much
+    /// slower than the EWMA converges (`alpha`), or a *sustained*
+    /// slowdown drags the reference down as fast as the signal and is
+    /// never detected.
+    pub peak_decay: f64,
 }
 
 impl Default for HealthPolicy {
@@ -100,6 +112,7 @@ impl Default for HealthPolicy {
             probation_chunks: 2,
             probe_interval_us: 500.0,
             max_probes: 10,
+            peak_decay: 0.95,
         }
     }
 }
@@ -191,7 +204,7 @@ impl HealthTracker {
             None => tput,
         };
         s.ewma = Some(ewma);
-        s.peak = s.peak.max(ewma);
+        s.peak = (s.peak * self.policy.peak_decay).max(ewma);
         let from = s.state;
         let to = match from {
             HealthState::Healthy if ewma < self.policy.degrade_ratio * s.peak => {
@@ -286,6 +299,10 @@ impl HealthTracker {
         s.state = HealthState::Probation;
         s.clean_streak = 0;
         s.ewma = None;
+        // The peak restarts with the EWMA: a device that came back
+        // slower must be measured against its post-outage self, not a
+        // reference from before it broke.
+        s.peak = 0.0;
         HealthTransition {
             slot,
             device,
@@ -347,6 +364,50 @@ mod tests {
         let tr = recovered.expect("restored throughput must recover");
         assert_eq!((tr.from, tr.to), (HealthState::Degraded, HealthState::Healthy));
         assert_eq!(h.share_multiplier(0), 1.0);
+    }
+
+    #[test]
+    fn single_fast_outlier_does_not_cause_permanent_degradation() {
+        // Regression for the peak ratchet: with `peak = peak.max(ewma)`
+        // one 10x-fast chunk pinned the peak forever, so the device's
+        // true steady rate (now < degrade_ratio * peak) read as
+        // Degraded with no possible recovery (recover_ratio * peak was
+        // unreachable). The decaying peak forgets the spike.
+        let p = HealthPolicy::default();
+        let mut h = HealthTracker::new(1, p);
+        for i in 0..6 {
+            assert!(h.observe_chunk(0, 0, 1000, 1.0, t(i as f64)).is_none());
+        }
+        // One anomalously fast chunk (10x the steady throughput).
+        h.observe_chunk(0, 0, 10_000, 1.0, t(6.0));
+        // Back to the same steady rate as before the spike. A transient
+        // Degraded excursion while the spiked EWMA drains is acceptable;
+        // being *stuck* there is the bug.
+        for i in 7..60 {
+            h.observe_chunk(0, 0, 1000, 1.0, t(i as f64));
+        }
+        assert_eq!(
+            h.state(0),
+            HealthState::Healthy,
+            "steady post-spike throughput must read as healthy again"
+        );
+        assert_eq!(h.share_multiplier(0), 1.0);
+    }
+
+    #[test]
+    fn peak_decays_toward_recent_throughput() {
+        let p = HealthPolicy::default();
+        let mut h = HealthTracker::new(1, p);
+        h.observe_chunk(0, 0, 10_000, 1.0, t(0.0)); // spike first
+        for i in 1..60 {
+            h.observe_chunk(0, 0, 1000, 1.0, t(i as f64));
+        }
+        let s = &h.slots[0];
+        assert!(
+            s.peak < 1500.0,
+            "peak {} should have decayed to near the steady rate",
+            s.peak
+        );
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Deterministic traffic generation: thousands of sessions with
+//! Poisson arrivals, mixed kernels, and priority classes.
+//!
+//! Everything is a pure function of the config seed via SplitMix64 —
+//! the same config produces the same request stream on every platform,
+//! which is what lets the `serve_traffic` bench keep a byte-identical
+//! golden. Inter-arrival gaps are exponential (`-mean · ln(1 − u)`),
+//! i.e. arrivals form a Poisson process; tenants draw a priority class
+//! once (stable weight per tenant, as weighted-fair accounting
+//! expects) and each session draws a kernel from the suite.
+
+use homp_core::Algorithm;
+use homp_kernels::{KernelSpec, PhantomKernel};
+use homp_sim::noise::SplitMix64;
+use homp_sim::{DeviceId, SimTime};
+
+use crate::{ServeRequest, TenantId};
+
+/// A priority class: a name for reports and a fairness weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorityClass {
+    /// Label used in reports (e.g. `"interactive"`).
+    pub name: String,
+    /// Fairness weight under weighted-fair admission.
+    pub weight: f64,
+    /// Fraction of tenants drawn into this class. Shares are
+    /// normalized over the class list; they need not sum to 1.
+    pub share: f64,
+}
+
+impl PriorityClass {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, weight: f64, share: f64) -> Self {
+        Self { name: name.into(), weight, share }
+    }
+}
+
+/// Parameters of one generated request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// Number of sessions (one offload request each).
+    pub sessions: usize,
+    /// Number of distinct tenants the sessions are drawn from.
+    pub tenants: u32,
+    /// Mean inter-arrival gap in virtual microseconds (Poisson process).
+    pub mean_interarrival_us: f64,
+    /// Seed for the SplitMix64 stream driving arrivals, tenant and
+    /// kernel draws, and class assignment.
+    pub seed: u64,
+    /// Priority classes tenants are assigned to. Must be non-empty.
+    pub classes: Vec<PriorityClass>,
+    /// Devices every request targets (typically the whole machine).
+    pub devices: Vec<DeviceId>,
+    /// Distribution algorithm every request runs under.
+    pub algorithm: Algorithm,
+    /// Run the suite at the paper's Table V sizes (cost-exact phantoms)
+    /// instead of test sizes. Paper sizes give every device real work
+    /// and make queueing visible; test sizes keep unit tests instant.
+    pub paper_sizes: bool,
+}
+
+impl TrafficConfig {
+    /// A default interactive/batch mix over `n_devices` devices:
+    /// 30% of tenants interactive (weight 4), 70% batch (weight 1),
+    /// paper-size kernels, and an arrival rate that keeps the machine
+    /// contended (queues form, so admission policy matters).
+    pub fn default_mix(n_devices: usize, seed: u64) -> Self {
+        Self {
+            sessions: 1000,
+            tenants: 100,
+            mean_interarrival_us: 20_000.0,
+            seed,
+            classes: vec![
+                PriorityClass::new("interactive", 4.0, 0.3),
+                PriorityClass::new("batch", 1.0, 0.7),
+            ],
+            devices: (0..n_devices as DeviceId).collect(),
+            algorithm: Algorithm::Model2 { cutoff: None },
+            paper_sizes: true,
+        }
+    }
+}
+
+/// Class index each tenant draws, in tenant-id order. Exposed so
+/// reports can label tenants with their class name.
+pub fn tenant_classes(cfg: &TrafficConfig) -> Vec<usize> {
+    assert!(!cfg.classes.is_empty(), "traffic needs at least one priority class");
+    let total: f64 = cfg.classes.iter().map(|c| c.share).sum();
+    // A dedicated stream keeps class assignment independent of the
+    // session draws, so changing the session count does not reshuffle
+    // which tenants are interactive.
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+    (0..cfg.tenants)
+        .map(|_| {
+            let mut u = rng.next_f64() * total;
+            for (i, c) in cfg.classes.iter().enumerate() {
+                u -= c.share;
+                if u < 0.0 {
+                    return i;
+                }
+            }
+            cfg.classes.len() - 1
+        })
+        .collect()
+}
+
+/// Generate the request stream: `cfg.sessions` requests with Poisson
+/// arrivals, tenant and kernel drawn per session, weight fixed by the
+/// tenant's class. Kernels are the paper suite run as
+/// [`PhantomKernel`]s (cost-exact, no host arithmetic), so thousands
+/// of sessions stay cheap even at Table V sizes.
+pub fn generate(cfg: &TrafficConfig) -> Vec<ServeRequest<'static>> {
+    assert!(cfg.tenants > 0, "traffic needs at least one tenant");
+    let suite: Vec<KernelSpec> = KernelSpec::paper_suite()
+        .into_iter()
+        .map(|s| if cfg.paper_sizes { s } else { s.test_size() })
+        .collect();
+    let classes = tenant_classes(cfg);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut t_us = 0.0f64;
+    (0..cfg.sessions)
+        .map(|_| {
+            t_us += -cfg.mean_interarrival_us * (1.0 - rng.next_f64()).ln();
+            let tenant = (rng.next_u64() % cfg.tenants as u64) as TenantId;
+            let spec = &suite[(rng.next_u64() % suite.len() as u64) as usize];
+            let weight = cfg.classes[classes[tenant as usize]].weight;
+            ServeRequest::new(
+                tenant,
+                SimTime::from_secs(t_us * 1e-6),
+                spec.region(cfg.devices.clone(), cfg.algorithm),
+                Box::new(PhantomKernel::new(spec.intensity())),
+            )
+            .with_weight(weight)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrafficConfig {
+        TrafficConfig {
+            sessions: 200,
+            tenants: 20,
+            mean_interarrival_us: 200.0,
+            paper_sizes: false,
+            ..TrafficConfig::default_mix(4, 42)
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, b) = (generate(&cfg()), generate(&cfg()));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.weight, y.weight);
+            assert_eq!(x.region.name, y.region.name);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_poisson_scaled() {
+        let reqs = generate(&cfg());
+        for w in reqs.windows(2) {
+            assert!(w[1].arrival > w[0].arrival, "exponential gaps are positive");
+        }
+        let span_us = reqs.last().unwrap().arrival.as_micros();
+        let mean_gap = span_us / (reqs.len() - 1) as f64;
+        // Mean of 199 exponential gaps concentrates near the mean.
+        assert!(
+            (mean_gap - 200.0).abs() < 80.0,
+            "empirical mean gap {mean_gap:.1}us vs configured 200us"
+        );
+    }
+
+    #[test]
+    fn class_assignment_is_stable_per_tenant_and_roughly_proportional() {
+        let c = cfg();
+        let classes = tenant_classes(&c);
+        assert_eq!(classes.len(), 20);
+        // Same tenant → same weight on every request it submits.
+        let reqs = generate(&c);
+        for r in &reqs {
+            assert_eq!(r.weight, c.classes[classes[r.tenant as usize]].weight);
+        }
+        // Session count must not reshuffle classes.
+        let more = TrafficConfig { sessions: 500, ..c.clone() };
+        assert_eq!(tenant_classes(&more), classes);
+        // Both classes are represented at these sizes.
+        assert!(classes.contains(&0) && classes.contains(&1));
+    }
+
+    #[test]
+    fn kernel_mix_draws_from_the_whole_suite() {
+        let reqs = generate(&TrafficConfig { sessions: 300, ..cfg() });
+        let mut names: Vec<&str> = reqs.iter().map(|r| r.region.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert!(names.len() >= 5, "300 draws should hit most of the 6-kernel suite: {names:?}");
+    }
+}

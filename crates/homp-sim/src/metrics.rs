@@ -17,10 +17,15 @@ use crate::fault::FaultKind;
 use crate::trace::{OpKind, Trace};
 
 /// Merge possibly-overlapping `(start, end)` intervals into a sorted
-/// disjoint set. Zero-length intervals are dropped.
+/// disjoint set. Zero-length intervals are dropped, and so are
+/// intervals with a non-finite bound: `SimTime` arithmetic saturates
+/// into `inf` under adversarial noise amplitudes, and a single such
+/// interval would poison every downstream union/utilization total (or,
+/// worse, a NaN would abort the report path mid-sort). Metrics are a
+/// read-side diagnostic — a corrupt interval is dropped, never fatal.
 fn merge(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
-    iv.retain(|&(s, e)| e > s);
-    iv.sort_by(|a, b| a.partial_cmp(b).expect("finite interval bounds"));
+    iv.retain(|&(s, e)| s.is_finite() && e.is_finite() && e > s);
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
     let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
     for (s, e) in iv {
         match out.last_mut() {
@@ -402,6 +407,32 @@ mod tests {
         assert_eq!(m.devices.len(), 3);
         assert!(m.devices.iter().all(|d| d.utilization == 0.0));
         assert_eq!(m.load_balance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn merge_drops_non_finite_intervals_instead_of_panicking() {
+        // Regression: these inputs used to reach the sort's
+        // `partial_cmp(..).expect("finite interval bounds")` (NaN) or
+        // leak `inf` into every downstream total (infinite bounds).
+        let merged = merge(vec![
+            (f64::NAN, 1.0),
+            (0.0, f64::NAN),
+            (f64::NAN, f64::NAN),
+            (0.0, f64::INFINITY),
+            (f64::NEG_INFINITY, 5.0),
+            (f64::NEG_INFINITY, f64::INFINITY),
+            (1.0, 2.0),
+            (4.0, 5.0),
+        ]);
+        assert_eq!(merged, vec![(1.0, 2.0), (4.0, 5.0)]);
+        assert_eq!(total_len(&merged), 2.0);
+    }
+
+    #[test]
+    fn merge_of_only_non_finite_intervals_is_empty() {
+        let merged = merge(vec![(f64::NAN, f64::INFINITY), (f64::INFINITY, f64::INFINITY)]);
+        assert!(merged.is_empty());
+        assert_eq!(total_len(&merged), 0.0);
     }
 
     #[test]

@@ -248,6 +248,45 @@ impl Trace {
         self.labels.len()
     }
 
+    /// Append every event of `other`, re-interning its labels into this
+    /// trace's table.
+    ///
+    /// This is how a long-running service keeps one machine-wide trace
+    /// across many per-request traces: each request's trace is taken
+    /// out of the engine with its own small label table, and absorbing
+    /// re-maps those ids onto the master table. Because requests reuse
+    /// the same stage and kernel labels, the master table stays bounded
+    /// by the label *vocabulary*, not by the request count — see the
+    /// `absorb_label_table_is_bounded_by_vocabulary` test.
+    ///
+    /// Events are appended as-is (absolute times, recording order), so
+    /// absorbing traces produced on a shared calendar yields a merged
+    /// trace whose [`Trace::breakdown`] and utilization math see the
+    /// true machine timeline. Respects this trace's [`TraceLevel`]:
+    /// `Off` absorbs nothing, `Spans` drops the labels.
+    pub fn absorb(&mut self, other: &Trace) {
+        match self.level {
+            TraceLevel::Off => {}
+            TraceLevel::Spans => {
+                self.events.extend(
+                    other.events.iter().map(|e| TraceEvent { label: LabelId::UNLABELED, ..*e }),
+                );
+            }
+            TraceLevel::Full => {
+                let map: Vec<LabelId> =
+                    other.labels.iter().map(|l| self.intern(l)).collect();
+                self.events.extend(other.events.iter().map(|e| TraceEvent {
+                    label: if e.label == LabelId::UNLABELED {
+                        LabelId::UNLABELED
+                    } else {
+                        map[e.label.0 as usize]
+                    },
+                    ..*e
+                }));
+            }
+        }
+    }
+
     /// Capacity of the event buffer — retained across [`Trace::clear`]
     /// so steady-state reuse does not reallocate.
     pub fn events_capacity(&self) -> usize {
@@ -652,6 +691,66 @@ mod tests {
         }
         assert_eq!(tr.label_count(), labels, "steady state interns no new labels");
         assert_eq!(tr.events_capacity(), cap, "steady state reallocates nothing");
+    }
+
+    #[test]
+    fn absorb_remaps_labels_and_keeps_times() {
+        let mut a = Trace::new();
+        a.record(0, OpKind::Kernel, t(0.0), t(1.0), 5, "axpy");
+        a.record(0, OpKind::H2D, t(1.0), t(2.0), 8, "chunk-in");
+        let mut b = Trace::new();
+        // Interned in a different order, so raw ids differ between the
+        // two tables and a blind event copy would mislabel.
+        b.record(1, OpKind::H2D, t(2.0), t(3.0), 16, "chunk-in");
+        b.record(1, OpKind::Kernel, t(3.0), t(5.0), 7, "axpy");
+        b.record(1, OpKind::D2H, t(5.0), t(6.0), 4, "map-out");
+        a.absorb(&b);
+        assert_eq!(a.len(), 5);
+        let labels: Vec<&str> = a.events().iter().map(|e| a.label(e.label)).collect();
+        assert_eq!(labels, ["axpy", "chunk-in", "chunk-in", "axpy", "map-out"]);
+        assert_eq!(a.label_count(), 3, "shared labels are not duplicated");
+        assert_eq!(a.events()[4].start, t(5.0), "absolute times are preserved");
+        assert_eq!(a.makespan(), t(6.0));
+    }
+
+    #[test]
+    fn absorb_label_table_is_bounded_by_vocabulary() {
+        let mut master = Trace::new();
+        // 1000 "requests", each with its own fresh trace and table, all
+        // drawing from the same 3-label vocabulary — the service-layer
+        // steady state.
+        for i in 0..1000 {
+            let mut req = Trace::new();
+            let at = i as f64;
+            req.record(0, OpKind::H2D, t(at), t(at + 0.1), 8, "chunk-in");
+            req.record(0, OpKind::Kernel, t(at + 0.1), t(at + 0.8), 5, "axpy");
+            req.record(0, OpKind::D2H, t(at + 0.8), t(at + 0.9), 8, "map-out");
+            master.absorb(&req);
+        }
+        assert_eq!(master.len(), 3000);
+        assert_eq!(master.label_count(), 3, "table growth must not scale with requests");
+    }
+
+    #[test]
+    fn absorb_respects_recording_level() {
+        let mut src = Trace::new();
+        src.record(0, OpKind::Kernel, t(0.0), t(1.0), 1, "axpy");
+
+        let mut off = Trace::with_level(TraceLevel::Off);
+        off.absorb(&src);
+        assert!(off.is_empty());
+
+        let mut spans = Trace::with_level(TraceLevel::Spans);
+        spans.absorb(&src);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans.label_count(), 0);
+        assert_eq!(spans.events()[0].label, LabelId::UNLABELED);
+
+        // Absorbing an unlabeled trace into a Full one keeps UNLABELED.
+        let mut full = Trace::new();
+        full.absorb(&spans);
+        assert_eq!(full.events()[0].label, LabelId::UNLABELED);
+        assert_eq!(full.label_count(), 0);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * [`model`] — the analytical models (roofline, Hockney, MODEL_1,
 //!   MODEL_2, heuristics);
 //! * [`kernels`] — the six evaluation kernels plus the Fig. 3 Jacobi
-//!   app, with real arithmetic and Table IV cost descriptors.
+//!   app, with real arithmetic and Table IV cost descriptors;
+//! * [`serve`] — a multi-tenant offload service over one machine:
+//!   admission queue, FIFO/weighted-fair policies, Poisson traffic
+//!   generation, and per-tenant latency/utilization accounting.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +71,7 @@ pub use homp_core as core;
 pub use homp_kernels as kernels;
 pub use homp_lang as lang;
 pub use homp_model as model;
+pub use homp_serve as serve;
 pub use homp_sim as sim;
 
 /// The items most programs need.
@@ -79,6 +83,9 @@ pub mod prelude {
         UpdateReport,
     };
     pub use homp_kernels::{KernelSpec, PhantomKernel};
+    pub use homp_serve::{
+        RequestOutcome, ServePolicy, ServeReport, ServeRequest, Server, TenantId, TenantStats,
+    };
     pub use homp_lang::{parse_directive, Env, ParseError};
     pub use homp_model::KernelIntensity;
     pub use homp_sim::{FaultPlan, Machine, Metrics, SimSpan, SimTime, TransferStats};
