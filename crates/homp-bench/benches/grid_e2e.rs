@@ -143,7 +143,7 @@ fn bench_run_chunked(c: &mut Criterion) {
             b.iter(|| {
                 rt.reset_with_seed(SEED);
                 let mut kernel = PhantomKernel::new(axpy_intensity());
-                let report = rt.offload(&region, &mut kernel).expect("offload");
+                let report = rt.offload(&region, &mut kernel).run().expect("offload");
                 assert_eq!(report.chunks, CHUNKS);
                 black_box(report.makespan)
             })

@@ -30,7 +30,7 @@ fn bench_policies(c: &mut Criterion) {
                         let region =
                             spec.region((0..machine.len() as u32).collect(), alg);
                         let mut k = PhantomKernel::new(spec.intensity());
-                        black_box(rt.offload(&region, &mut k).unwrap().time_ms())
+                        black_box(rt.offload(&region, &mut k).run().unwrap().time_ms())
                     })
                 },
             );

@@ -48,7 +48,7 @@ fn run() {
         let mut rt = Runtime::new(machine, SEED);
         let region = spec.region(vec![0, 1, 2, 3], alg);
         let mut k = PhantomKernel::new(spec.intensity());
-        rt.offload(&region, &mut k).unwrap()
+        rt.offload(&region, &mut k).run().unwrap()
     });
     homp_bench::count_cells(tasks.len() as u64);
     for (&(spec, alg, _), pair) in tasks.iter().step_by(2).zip(reps.chunks_exact(2)) {

@@ -19,7 +19,7 @@ fn run_point(spec: KernelSpec, alg: Algorithm) -> (f64, u64, f64) {
     let mut rt = Runtime::new(Machine::full_node(), SEED);
     let region = spec.region((0..7).collect(), alg);
     let mut k = PhantomKernel::new(spec.intensity());
-    let r = rt.offload(&region, &mut k).unwrap();
+    let r = rt.offload(&region, &mut k).run().unwrap();
     (r.time_ms(), r.chunks, r.imbalance_pct)
 }
 

@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 fn run_point(rt: &mut Runtime, spec: KernelSpec, alg: Algorithm) -> f64 {
     let region = spec.region((0..rt.machine().len() as u32).collect(), alg);
     let mut k = PhantomKernel::new(spec.intensity());
-    rt.offload(&region, &mut k).unwrap().time_ms()
+    rt.offload(&region, &mut k).run().unwrap().time_ms()
 }
 
 fn main() {

@@ -37,7 +37,7 @@ fn run() {
         let mut rt = Runtime::new(machine.clone(), SEED);
         let region = spec.region((0..7).collect(), alg);
         let mut k = PhantomKernel::new(spec.intensity());
-        rt.offload(&region, &mut k).unwrap()
+        rt.offload(&region, &mut k).run().unwrap()
     });
     homp_bench::count_cells(tasks.len() as u64);
 

@@ -17,7 +17,7 @@ fn run_point(spec: KernelSpec, alg: Algorithm, overlap: bool) -> f64 {
     rt.set_overlap(overlap);
     let region = spec.region(vec![0, 1, 2, 3], alg);
     let mut k = PhantomKernel::new(spec.intensity());
-    rt.offload(&region, &mut k).unwrap().time_ms()
+    rt.offload(&region, &mut k).run().unwrap().time_ms()
 }
 
 fn main() {

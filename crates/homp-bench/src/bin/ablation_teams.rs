@@ -42,7 +42,7 @@ fn run() {
         };
         region.team_sched = sched;
         let mut k = FnKernel::new(spec.intensity(), |_r: Range| {});
-        rt.offload(&region, &mut k).unwrap().time_ms()
+        rt.offload(&region, &mut k).run().unwrap().time_ms()
     });
     homp_bench::count_cells(policies.len() as u64);
     let mut base = 0.0;

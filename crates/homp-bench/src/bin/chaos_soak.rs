@@ -162,7 +162,7 @@ fn run_cell(
                 y[i as usize] += a * x[i as usize];
             }
         });
-        rt.offload(&region(alg), &mut k)
+        rt.offload(&region(alg), &mut k).run()
             .unwrap_or_else(|e| panic!("{label}: offload must survive the schedule: {e}"))
     };
     count_sim(&report);

@@ -145,7 +145,7 @@ fn chunked_dynamic(seed: u64, chunks: u64) -> Scenario {
     let mut kernel = PhantomKernel::new(intensity());
     let ops0 = rt.sim_ops();
     let t0 = Instant::now();
-    let report = rt.offload(&region, &mut kernel).expect("offload");
+    let report = rt.offload(&region, &mut kernel).run().expect("offload");
     let wall_s = t0.elapsed().as_secs_f64();
     assert_eq!(report.counts.iter().sum::<u64>(), trip, "loop must be covered");
     assert_eq!(report.chunks, chunks, "chunk arithmetic drifted");
@@ -167,7 +167,7 @@ fn work_assist(seed: u64, quick: bool) -> Scenario {
     for i in 0..repeats {
         rt.reset_with_seed(seed.wrapping_add(i));
         let mut kernel = PhantomKernel::new(intensity());
-        let report = rt.offload(&region, &mut kernel).expect("offload");
+        let report = rt.offload(&region, &mut kernel).run().expect("offload");
         assert_eq!(report.counts.iter().sum::<u64>(), trip, "loop must be covered");
         chunks += report.chunks;
     }

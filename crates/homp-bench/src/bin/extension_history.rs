@@ -30,7 +30,7 @@ fn run() {
                 let mut rt = Runtime::new(machine.clone(), SEED);
                 let region = spec.region((0..7).collect(), alg);
                 let mut k = PhantomKernel::new(spec.intensity());
-                rt.offload(&region, &mut k).unwrap().time_ms()
+                rt.offload(&region, &mut k).run().unwrap().time_ms()
             };
             let m1 = baseline(Algorithm::Model1 { cutoff: None });
             let m2 = baseline(Algorithm::Model2 { cutoff: None });

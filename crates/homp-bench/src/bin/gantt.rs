@@ -66,7 +66,7 @@ fn run() {
     let mut rt = Runtime::new(machine.clone(), 42);
     let region = spec.region((0..machine.len() as u32).collect(), alg);
     let mut k = PhantomKernel::new(spec.intensity());
-    let report = rt.offload(&region, &mut k).expect("offload");
+    let report = rt.offload(&region, &mut k).run().expect("offload");
     homp_bench::count_cells(1);
 
     println!(

@@ -80,7 +80,7 @@ fn run() {
         for s in 0..5u64 {
             rt.reset_with_seed(SEED + s * 7919);
             let mut k = FnKernel::new(intensity(), |_r: Range| {});
-            let rep = rt.offload(&reg, &mut k).unwrap();
+            let rep = rt.offload(&reg, &mut k).run().unwrap();
             total += rep.time_ms();
             imb += rep.imbalance_pct;
         }

@@ -104,7 +104,7 @@ fn run() {
     rt.set_decision_log(true);
     let region = spec.region((0..machine.len() as u32).collect(), alg);
     let mut k = PhantomKernel::new(spec.intensity());
-    let report = rt.offload(&region, &mut k).expect("offload");
+    let report = rt.offload(&region, &mut k).run().expect("offload");
     homp_bench::count_cells(1);
     homp_bench::count_sim(&report);
 

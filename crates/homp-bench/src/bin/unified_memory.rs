@@ -39,7 +39,7 @@ fn run() {
         let mut rt = Runtime::new(machine(unified), SEED);
         let region = spec.region(vec![0, 1, 2, 3], Algorithm::Block);
         let mut k = PhantomKernel::new(spec.intensity());
-        rt.offload(&region, &mut k).unwrap().time_ms()
+        rt.offload(&region, &mut k).run().unwrap().time_ms()
     });
     homp_bench::count_cells(tasks.len() as u64);
     for (spec, pair) in specs.into_iter().zip(times.chunks_exact(2)) {

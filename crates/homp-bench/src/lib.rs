@@ -162,7 +162,7 @@ pub fn run_one(machine: &Machine, spec: KernelSpec, alg: Algorithm, seed: u64) -
     for run in 0..RUNS {
         rt.reset_with_seed(seed.wrapping_add(run * 7919));
         let mut kernel = PhantomKernel::new(spec.intensity());
-        let report = rt.offload(&region, &mut kernel).expect("offload");
+        let report = rt.offload(&region, &mut kernel).run().expect("offload");
         assert_eq!(kernel.executed(), spec.trip_count(), "harness must cover the loop");
         count_sim(&report);
         reports.push(report);
@@ -190,7 +190,7 @@ pub fn try_run_one(
     let devices = (0..machine.len() as u32).collect();
     let region = spec.region(devices, alg);
     let mut kernel = PhantomKernel::new(spec.intensity());
-    let out = match rt.offload(&region, &mut kernel) {
+    let out = match rt.offload(&region, &mut kernel).run() {
         Ok(report) => {
             count_sim(&report);
             Some(Cell { kernel: spec.label(), algorithm: alg.to_string(), key: alg.key(), report })

@@ -39,7 +39,7 @@
 //!             y[i as usize] += a * x[i as usize];
 //!         }
 //!     });
-//!     homp.offload(&region, &mut kernel).unwrap()
+//!     homp.offload(&region, &mut kernel).run().unwrap()
 //! };
 //! assert_eq!(y[10], 1.0 + 2.0 * 10.0);
 //! assert!(report.time_ms() > 0.0);
@@ -49,12 +49,13 @@ use crate::compile::{
     compile, compile_data_region, compile_update, CompileError, CompileOptions,
 };
 use crate::offload::OffloadRegion;
+use crate::pipeline::{Pipeline, PipelineKernel, PipelineReport};
 use crate::runtime::{
-    DataRegionReport, FaultConfig, LoopKernel, OffloadError, OffloadReport, Runtime,
-    RuntimeConfig, UpdateReport,
+    DataRegionReport, FaultConfig, LoopKernel, OffloadBuilder, OffloadError, OffloadReport,
+    Runtime, RuntimeConfig, UpdateReport,
 };
 use homp_lang::{parse_directive, Env, ParseError};
-use homp_sim::{Machine, TransferStats};
+use homp_sim::{Machine, SimTime, TransferStats};
 
 /// Error from the facade: parse, compile or offload failure.
 #[derive(Debug)]
@@ -182,22 +183,37 @@ impl Homp {
         Ok(compile(&refs, env, &self.type_names, &opts)?)
     }
 
-    /// Run an offload region.
-    pub fn offload(
-        &mut self,
-        region: &OffloadRegion,
-        kernel: &mut dyn LoopKernel,
-    ) -> Result<OffloadReport, HompError> {
-        Ok(self.runtime.offload(region, kernel)?)
+    /// Offload a region: returns the unified [`OffloadBuilder`] — chain
+    /// options ([`OffloadBuilder::resident`], [`OffloadBuilder::at`])
+    /// and finish with [`OffloadBuilder::run`]. The builder's error is
+    /// [`OffloadError`], which converts into [`HompError`], so `?`
+    /// works in facade-level code.
+    pub fn offload<'r, 'k>(
+        &'r mut self,
+        region: &'r OffloadRegion,
+        kernel: &'k mut dyn LoopKernel,
+    ) -> OffloadBuilder<'r, 'k> {
+        self.runtime.offload(region, kernel)
     }
 
     /// Run with resident data (inside a `target data` region).
+    #[deprecated(note = "use `offload(region, kernel).resident().run()`")]
     pub fn offload_resident(
         &mut self,
         region: &OffloadRegion,
         kernel: &mut dyn LoopKernel,
     ) -> Result<OffloadReport, HompError> {
-        Ok(self.runtime.offload_with(region, kernel, true)?)
+        Ok(self.runtime.offload_inner(region, kernel, true, SimTime::ZERO, true)?)
+    }
+
+    /// Run a [`Pipeline`] of offload stages (see
+    /// [`Runtime::offload_pipeline`]).
+    pub fn offload_pipeline(
+        &mut self,
+        pipeline: &Pipeline,
+        kernel: &mut dyn PipelineKernel,
+    ) -> Result<PipelineReport, HompError> {
+        Ok(self.runtime.offload_pipeline(pipeline, kernel)?)
     }
 
     /// Execute a `#pragma omp halo_exchange (var)` directive against a
@@ -289,23 +305,35 @@ impl DataRegion<'_> {
 
     /// Offload a region inside this data environment. Arrays mapped by
     /// the environment elide transfers for resident data; arrays the
-    /// environment does not know behave as in a plain offload.
-    pub fn offload(
-        &mut self,
-        region: &OffloadRegion,
-        kernel: &mut dyn LoopKernel,
-    ) -> Result<OffloadReport, HompError> {
-        Ok(self.homp.runtime.offload(region, kernel)?)
+    /// environment does not know behave as in a plain offload. Returns
+    /// the unified [`OffloadBuilder`]; finish with
+    /// [`OffloadBuilder::run`].
+    pub fn offload<'r, 'k>(
+        &'r mut self,
+        region: &'r OffloadRegion,
+        kernel: &'k mut dyn LoopKernel,
+    ) -> OffloadBuilder<'r, 'k> {
+        self.homp.runtime.offload(region, kernel)
     }
 
     /// Offload the data region's own loop spec (trip count, algorithm,
     /// devices and maps as declared by the `target data` directives).
-    pub fn offload_here(
+    pub fn offload_here<'r, 'k>(
+        &'r mut self,
+        kernel: &'k mut dyn LoopKernel,
+    ) -> OffloadBuilder<'r, 'k> {
+        let DataRegion { homp, spec, .. } = self;
+        homp.runtime.offload(spec, kernel)
+    }
+
+    /// Run a [`Pipeline`] inside this data environment (see
+    /// [`Runtime::offload_pipeline`]).
+    pub fn offload_pipeline(
         &mut self,
-        kernel: &mut dyn LoopKernel,
-    ) -> Result<OffloadReport, HompError> {
-        let spec = self.spec.clone();
-        Ok(self.homp.runtime.offload(&spec, kernel)?)
+        pipeline: &Pipeline,
+        kernel: &mut dyn PipelineKernel,
+    ) -> Result<PipelineReport, HompError> {
+        Ok(self.homp.runtime.offload_pipeline(pipeline, kernel)?)
     }
 
     /// Execute a `#pragma omp target update to(…) from(…)` directive:
@@ -385,7 +413,7 @@ mod tests {
         };
         let report = {
             let mut kernel = FnKernel::new(intensity, |r: Range| executed += r.len());
-            homp.offload(&region, &mut kernel).unwrap()
+            homp.offload(&region, &mut kernel).run().unwrap()
         };
         assert_eq!(executed, 5_000);
         assert_eq!(report.counts.iter().sum::<u64>(), 5_000);
@@ -435,9 +463,9 @@ mod more_tests {
             )
             .unwrap();
         let mut k1 = FnKernel::new(intensity(), |_r: Range| {});
-        let cold = homp.offload(&region, &mut k1).unwrap().makespan;
+        let cold = homp.offload(&region, &mut k1).run().unwrap().makespan;
         let mut k2 = FnKernel::new(intensity(), |_r: Range| {});
-        let warm = homp.offload_resident(&region, &mut k2).unwrap().makespan;
+        let warm = homp.offload(&region, &mut k2).resident().run().unwrap().makespan;
         assert!(warm < cold, "resident {warm} !< cold {cold}");
     }
 
@@ -528,9 +556,9 @@ mod more_tests {
             )
             .unwrap();
         let mut k1 = FnKernel::new(intensity(), |_r: Range| {});
-        let cold = region.offload_here(&mut k1).unwrap();
+        let cold = region.offload_here(&mut k1).run().unwrap();
         let mut k2 = FnKernel::new(intensity(), |_r: Range| {});
-        let warm = region.offload_here(&mut k2).unwrap();
+        let warm = region.offload_here(&mut k2).run().unwrap();
         assert!(warm.makespan < cold.makespan, "warm {} !< cold {}", warm.makespan, cold.makespan);
         // Second offload moved nothing: everything was resident.
         let stats = *region.stats();
@@ -561,7 +589,7 @@ mod more_tests {
             )
             .unwrap();
         let mut k = FnKernel::new(intensity(), |_r: Range| {});
-        region.offload_here(&mut k).unwrap();
+        region.offload_here(&mut k).run().unwrap();
         let up = region.update("#pragma omp target update to(x)").unwrap();
         assert_eq!(up.h2d_bytes, 1_000 * 8);
         assert_eq!(up.d2h_bytes, 0);
@@ -626,7 +654,7 @@ mod more_tests {
                 )
                 .unwrap();
             let mut k = FnKernel::new(intensity(), |_r: Range| {});
-            homp.offload(&region, &mut k).unwrap().makespan
+            homp.offload(&region, &mut k).run().unwrap().makespan
         };
         let mut a = Homp::with_seed(Machine::four_k40(), 7);
         let mut b = Homp::with_config(
@@ -655,7 +683,7 @@ mod more_tests {
             .unwrap();
         assert_eq!(region.devices, vec![2]);
         let mut k = FnKernel::new(intensity(), |_r: Range| {});
-        let rep = homp.offload(&region, &mut k).unwrap();
+        let rep = homp.offload(&region, &mut k).run().unwrap();
         assert_eq!(rep.counts, vec![1_000]);
     }
 }

@@ -310,6 +310,18 @@ pub fn compile(
     for a in arrays {
         region = region.map_array(a);
     }
+    // ---- pipeline clauses (`nowait` / `depend`) ------------------------
+    if directives.iter().any(|d| d.is_nowait()) {
+        region = region.nowait();
+    }
+    for d in directives {
+        for name in d.depends_in() {
+            region = region.depend_in(name);
+        }
+        for name in d.depends_out() {
+            region = region.depend_out(name);
+        }
+    }
     Ok(region.build())
 }
 

@@ -39,6 +39,7 @@ pub mod history;
 pub mod host_exec;
 pub mod map;
 pub mod offload;
+pub mod pipeline;
 pub mod reduction;
 pub mod region;
 pub mod report;
@@ -56,11 +57,16 @@ pub use dist::{ArrayDist, Distribution};
 pub use history::{AffineFit, HistoryDb};
 pub use map::{DataPlan, PlanError};
 pub use offload::{ArrayMap, OffloadRegion, OffloadRegionBuilder};
+pub use pipeline::{
+    ChunkingPolicy, FnPipelineKernel, Pipeline, PipelineBuilder, PipelineKernel,
+    PipelineReport, StageLink,
+};
 pub use region::Range;
 pub use report::{ChunkDecision, PredictionSource, PredictionStats, RunReport};
 pub use runtime::{
-    DataRegionReport, FaultConfig, FaultSummary, FnKernel, LoopKernel, OffloadError,
-    OffloadReport, RetryPolicy, Runtime, RuntimeConfig, UpdateReport,
+    DataRegionReport, FaultConfig, FaultSummary, FnKernel, LoopKernel, OffloadBuilder,
+    OffloadConfig, OffloadError, OffloadReport, RetryPolicy, Runtime, RuntimeConfig,
+    UpdateReport,
 };
 pub use sched::health::{HealthPolicy, HealthState, HealthTracker, HealthTransition};
 pub use sched::Algorithm;

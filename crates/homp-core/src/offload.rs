@@ -92,6 +92,17 @@ pub struct OffloadRegion {
     /// the mean over `[0, trip)` should be ≈1 so intensity stays
     /// calibrated.
     pub cost_profile: Option<fn(u64) -> f64>,
+    /// `nowait`: in a [`crate::pipeline::Pipeline`] the stage does not
+    /// end at a barrier — downstream stages may consume its chunks as
+    /// they complete. Ignored by the classic single-region entry points.
+    pub nowait: bool,
+    /// Explicit `depend(in: …)` array names. When non-empty they
+    /// override the map-direction inference (`to`/`tofrom`) used to
+    /// compute inter-stage pipeline edges.
+    pub depends_in: Vec<String>,
+    /// Explicit `depend(out: …)` array names. When non-empty they
+    /// override the map-direction inference (`from`/`tofrom`).
+    pub depends_out: Vec<String>,
 }
 
 impl OffloadRegion {
@@ -110,6 +121,9 @@ impl OffloadRegion {
                 scalar_bytes: 0,
                 team_sched: TeamSched::Aggregate,
                 cost_profile: None,
+                nowait: false,
+                depends_in: Vec::new(),
+                depends_out: Vec::new(),
             },
         }
     }
@@ -231,6 +245,24 @@ impl OffloadRegionBuilder {
     /// [`OffloadRegion::cost_profile`]).
     pub fn cost_profile(mut self, f: fn(u64) -> f64) -> Self {
         self.region.cost_profile = Some(f);
+        self
+    }
+
+    /// Mark the region `nowait` (see [`OffloadRegion::nowait`]).
+    pub fn nowait(mut self) -> Self {
+        self.region.nowait = true;
+        self
+    }
+
+    /// Name an explicit `depend(in: …)` array (may be called repeatedly).
+    pub fn depend_in(mut self, name: impl Into<String>) -> Self {
+        self.region.depends_in.push(name.into());
+        self
+    }
+
+    /// Name an explicit `depend(out: …)` array (may be called repeatedly).
+    pub fn depend_out(mut self, name: impl Into<String>) -> Self {
+        self.region.depends_out.push(name.into());
         self
     }
 

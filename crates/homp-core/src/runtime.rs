@@ -18,8 +18,12 @@
 //! study.
 
 use crate::data_env::DataEnv;
-use crate::map::{DataPlan, PlanError};
+use crate::map::{ArrayCostKind, DataPlan, PlanError};
 use crate::offload::OffloadRegion;
+use crate::pipeline::{
+    producer_window, stage_chunks, stage_links, Pipeline, PipelineKernel, PipelineReport,
+    StageKernel, StageLink,
+};
 use crate::region::Range;
 use crate::report::{ChunkDecision, PredictionSource, RunReport};
 use crate::sched::assist::{self, StealPolicy};
@@ -1101,7 +1105,7 @@ impl Runtime {
                 pred,
             )?
         } else {
-            self.offload(region, kernel)?
+            self.offload_inner(region, kernel, false, SimTime::ZERO, true)?
         };
         // Learn from what just happened. A device processing a stream of
         // chunks is a pipeline of three resources (upload, compute,
@@ -1119,18 +1123,46 @@ impl Runtime {
         Ok(report)
     }
 
-    /// Offload a region, mapping all data (the non-resident case).
-    pub fn offload(
-        &mut self,
-        region: &OffloadRegion,
-        kernel: &mut dyn LoopKernel,
-    ) -> Result<OffloadReport, OffloadError> {
-        self.offload_with(region, kernel, false)
+    /// Offload a region: the single entry point for every variant.
+    ///
+    /// Returns an [`OffloadBuilder`] — call [`OffloadBuilder::run`] to
+    /// execute. The default run maps all data and resets the engine
+    /// (the classic one-region-at-a-time semantics); chain
+    /// [`OffloadBuilder::resident`] to skip fixed transfers already
+    /// mapped by a `target data` region, and [`OffloadBuilder::at`] to
+    /// dispatch onto the engine's calendars as they stand (the
+    /// multi-tenant case).
+    ///
+    /// ```
+    /// # use homp_core::{Algorithm, FnKernel, OffloadRegion, Runtime};
+    /// # use homp_lang::{DistPolicy, MapDir};
+    /// # use homp_model::KernelIntensity;
+    /// # use homp_sim::Machine;
+    /// # let region = OffloadRegion::builder("axpy")
+    /// #     .trip_count(1000)
+    /// #     .devices(vec![0, 1, 2, 3])
+    /// #     .map_1d("x", MapDir::To, 1000, 8, DistPolicy::Block)
+    /// #     .build();
+    /// # let intensity = KernelIntensity {
+    /// #     flops_per_iter: 2.0, mem_elems_per_iter: 3.0,
+    /// #     data_elems_per_iter: 3.0, elem_bytes: 8.0 };
+    /// # let mut kernel = FnKernel::new(intensity, |_r| {});
+    /// let mut rt = Runtime::new(Machine::four_k40(), 42);
+    /// let report = rt.offload(&region, &mut kernel).run().unwrap();
+    /// assert_eq!(report.counts.iter().sum::<u64>(), 1000);
+    /// ```
+    pub fn offload<'r, 'k>(
+        &'r mut self,
+        region: &'r OffloadRegion,
+        kernel: &'k mut dyn LoopKernel,
+    ) -> OffloadBuilder<'r, 'k> {
+        OffloadBuilder { runtime: self, region, kernel, config: OffloadConfig::default() }
     }
 
     /// Offload with `data_resident = true` to skip the fixed (replicated
     /// / independent) transfers — the `target data` region of Fig. 3 has
     /// already mapped them.
+    #[deprecated(note = "use `offload(region, kernel).resident().run()`")]
     pub fn offload_with(
         &mut self,
         region: &OffloadRegion,
@@ -1143,13 +1175,14 @@ impl Runtime {
     /// Dispatch a region onto the engine's calendars *as they stand*, at
     /// virtual instant `at` — the multi-tenant entry point.
     ///
-    /// Unlike [`Runtime::offload`] this does **not** reset the engine:
-    /// the region's first operations become ready at `at` and queue
-    /// behind whatever earlier regions already occupy each resource
-    /// (every engine op starts at `max(ready, resource_free)`), so N
-    /// in-flight regions genuinely share devices on the virtual clock.
-    /// The report's [`OffloadReport::makespan`] is measured from `at`
-    /// and [`OffloadReport::completed_at`] is the absolute end barrier.
+    /// Unlike a plain [`Runtime::offload`]`.run()` this does **not**
+    /// reset the engine: the region's first operations become ready at
+    /// `at` and queue behind whatever earlier regions already occupy
+    /// each resource (every engine op starts at `max(ready,
+    /// resource_free)`), so N in-flight regions genuinely share devices
+    /// on the virtual clock. The report's [`OffloadReport::makespan`]
+    /// is measured from `at` and [`OffloadReport::completed_at`] is the
+    /// absolute end barrier.
     ///
     /// Dispatches must be issued in non-decreasing `at` order: resource
     /// calendars only move forward, so a region dispatched at an
@@ -1158,7 +1191,8 @@ impl Runtime {
     ///
     /// A single dispatch at `at = SimTime::ZERO` on a fresh (or
     /// [`Runtime::reset_with_seed`]-rewound) runtime is byte-identical
-    /// to [`Runtime::offload`] — traces, decisions and report included.
+    /// to the classic offload — traces, decisions and report included.
+    #[deprecated(note = "use `offload(region, kernel).at(t).run()`")]
     pub fn offload_at(
         &mut self,
         region: &OffloadRegion,
@@ -1169,7 +1203,7 @@ impl Runtime {
         self.offload_inner(region, kernel, data_resident, at, false)
     }
 
-    fn offload_inner(
+    pub(crate) fn offload_inner(
         &mut self,
         region: &OffloadRegion,
         kernel: &mut dyn LoopKernel,
@@ -2745,6 +2779,433 @@ impl Runtime {
         ))
     }
 
+    // ------------------------------------------------------------------
+    // Kernel pipelines
+    // ------------------------------------------------------------------
+
+    /// Run a [`Pipeline`] of offload stages.
+    ///
+    /// When **no** stage is `nowait`, every stage runs through the
+    /// classic reset-at-zero offload path — byte-identical (traces,
+    /// decisions, reports) to calling [`Runtime::offload`]`.run()` once
+    /// per stage on the same runtime.
+    ///
+    /// When any stage is `nowait`, the overlapped executor runs: the
+    /// engine is reset once, each stage's per-device shares are
+    /// block-split into pipeline chunks
+    /// ([`crate::pipeline::ChunkingPolicy`]), and a consumer chunk
+    /// dispatches the moment the producer chunks covering its
+    /// halo-dilated read window ([`producer_window`]) complete — the
+    /// same un-reset-calendar machinery the multi-tenant
+    /// `offload(…).at(t)` path uses. A non-`nowait` stage inside an
+    /// otherwise overlapped pipeline contributes barrier edges: the
+    /// next stage's chunks wait for *all* of its chunks.
+    ///
+    /// The overlapped executor uses the static BLOCK geometry for every
+    /// stage (chunk-level dependencies need the chunk→device assignment
+    /// up front), so the per-stage `algorithm` field is honoured only on
+    /// the barrier path. Linked intermediate arrays stay device-resident
+    /// between stages: a consumer chunk on the producing device pays no
+    /// transfer for them, a chunk elsewhere re-imports the overlapping
+    /// producer slabs at H2D cost, and `from`-mapped intermediates are
+    /// flushed to the host once the pipeline drains.
+    pub fn offload_pipeline(
+        &mut self,
+        pipeline: &Pipeline,
+        kernel: &mut dyn PipelineKernel,
+    ) -> Result<PipelineReport, OffloadError> {
+        if pipeline.overlapped() {
+            self.pipeline_overlapped(pipeline, kernel)
+        } else {
+            self.pipeline_barrier(pipeline, kernel)
+        }
+    }
+
+    /// Degenerate all-barrier pipeline: each stage through the classic
+    /// reset-at-zero path. Byte-identity with back-to-back offloads is
+    /// by construction — this *is* that code path.
+    fn pipeline_barrier(
+        &mut self,
+        pipeline: &Pipeline,
+        kernel: &mut dyn PipelineKernel,
+    ) -> Result<PipelineReport, OffloadError> {
+        let mut stages = Vec::with_capacity(pipeline.stages.len());
+        for (i, region) in pipeline.stages.iter().enumerate() {
+            let mut stage_kernel = StageKernel { inner: kernel, stage: i };
+            stages.push(self.offload_inner(
+                region,
+                &mut stage_kernel,
+                false,
+                SimTime::ZERO,
+                true,
+            )?);
+        }
+        let barrier_sum = stages.iter().fold(SimSpan::ZERO, |acc, s| acc + s.makespan);
+        // Boundary idle: from the producer's last kernel completion,
+        // across the barrier, to the consumer's first kernel start. Each
+        // stage trace starts at zero, so the gap on the concatenated
+        // timeline is the producer's post-kernel tail plus the
+        // consumer's pre-kernel head.
+        let mut boundary_idle = SimSpan::ZERO;
+        for s in 0..stages.len().saturating_sub(1) {
+            let prod = kernel_span(&stages[s].trace, &pipeline.stages[s].name);
+            let cons = kernel_span(&stages[s + 1].trace, &pipeline.stages[s + 1].name);
+            if let (Some((_, prod_end)), Some((cons_start, _))) = (prod, cons) {
+                let tail = stages[s].makespan.as_secs() - (prod_end - SimTime::ZERO).as_secs();
+                let head = (cons_start - SimTime::ZERO).as_secs();
+                boundary_idle += SimSpan::from_secs((tail + head).max(0.0));
+            }
+        }
+        Ok(PipelineReport {
+            name: pipeline.name.clone(),
+            overlapped: false,
+            stages,
+            makespan: barrier_sum,
+            completed_at: SimTime::ZERO + barrier_sum,
+            barrier_sum,
+            boundary_idle,
+            trace: Trace::default(),
+        })
+    }
+
+    /// The overlapped executor: one engine timeline, chunk-level
+    /// producer→consumer edges, dispatch base at zero.
+    fn pipeline_overlapped(
+        &mut self,
+        pipeline: &Pipeline,
+        kernel: &mut dyn PipelineKernel,
+    ) -> Result<PipelineReport, OffloadError> {
+        let n_stages = pipeline.stages.len();
+
+        // ---- geometry: plans, BLOCK counts, pipeline chunks ----------
+        let mut plans: Vec<DataPlan> = Vec::with_capacity(n_stages);
+        let mut chunk_lists: Vec<Vec<(usize, Range)>> = Vec::with_capacity(n_stages);
+        for region in &pipeline.stages {
+            for &d in &region.devices {
+                if d as usize >= self.engine.n_devices() {
+                    return Err(OffloadError::UnknownDevice(d));
+                }
+            }
+            let counts = block::block_counts(region.trip_count, region.devices.len());
+            let plan = DataPlan::new(region, region.devices.len())?;
+            self.check_capacity(&region.devices, &plan, 0, Some(&counts))?;
+            chunk_lists.push(stage_chunks(&counts, pipeline.chunking));
+            plans.push(plan);
+        }
+
+        // ---- edges: links per adjacent pair, deps per consumer chunk -
+        // `links[s - 1]` connects stage s-1 (producer) to s (consumer).
+        let links: Vec<Vec<StageLink>> = (1..n_stages)
+            .map(|s| stage_links(&pipeline.stages[s - 1], &pipeline.stages[s]))
+            .collect();
+        let mut deps: Vec<Vec<Vec<usize>>> = Vec::with_capacity(n_stages);
+        deps.push(vec![Vec::new(); chunk_lists[0].len()]);
+        for s in 1..n_stages {
+            let prev = &pipeline.stages[s - 1];
+            let cur = &pipeline.stages[s];
+            let prev_chunks = &chunk_lists[s - 1];
+            let all: Vec<usize> = (0..prev_chunks.len()).collect();
+            let stage_deps = chunk_lists[s]
+                .iter()
+                .map(|&(_, range)| {
+                    // A non-nowait producer is a barrier edge; so is a
+                    // FULL-partition (undistributed) read.
+                    if !prev.nowait || links[s - 1].iter().any(|l| l.full) {
+                        return all.clone();
+                    }
+                    let mut d: Vec<usize> = Vec::new();
+                    for l in &links[s - 1] {
+                        let w =
+                            producer_window(range, cur.trip_count, prev.trip_count, l.halo);
+                        for (j, &(_, pr)) in prev_chunks.iter().enumerate() {
+                            if pr.overlaps(&w) && !d.contains(&j) {
+                                d.push(j);
+                            }
+                        }
+                    }
+                    d.sort_unstable();
+                    d
+                })
+                .collect();
+            deps.push(stage_deps);
+        }
+
+        // ---- execution state -----------------------------------------
+        self.engine.reset();
+        self.decisions.clear();
+        self.dispatch_base = SimTime::ZERO;
+
+        // Dependency-satisfaction instant (compute completion: the data
+        // exists on the producing device) and out-transfer completion
+        // per chunk; the executing device per chunk (None = host).
+        let mut done_dep: Vec<Vec<Option<SimTime>>> =
+            chunk_lists.iter().map(|c| vec![None; c.len()]).collect();
+        let mut done_out: Vec<Vec<Option<SimTime>>> =
+            chunk_lists.iter().map(|c| vec![None; c.len()]).collect();
+        let mut placed: Vec<Vec<Option<DeviceId>>> = chunk_lists
+            .iter()
+            .zip(&pipeline.stages)
+            .map(|(c, r)| c.iter().map(|&(slot, _)| Some(r.devices[slot])).collect())
+            .collect();
+        let mut pending: Vec<Vec<usize>> =
+            deps.iter().map(|stage| stage.iter().map(Vec::len).collect()).collect();
+        let mut exec_counts: Vec<Vec<u64>> =
+            pipeline.stages.iter().map(|r| vec![0; r.devices.len()]).collect();
+        let mut chunks_run: Vec<u64> = vec![0; n_stages];
+        let mut summaries: Vec<FaultSummary> = vec![FaultSummary::default(); n_stages];
+        let mut stage_decisions: Vec<Vec<ChunkDecision>> = vec![Vec::new(); n_stages];
+        let mut first_dispatch: Vec<Option<SimTime>> = vec![None; n_stages];
+        let mut fixed_sent: Vec<Vec<bool>> =
+            pipeline.stages.iter().map(|r| vec![false; r.devices.len()]).collect();
+        let mut quarantined: Vec<bool> = vec![false; self.engine.n_devices()];
+        // Last out-transfer completion per device, for the end barrier.
+        let mut dev_last: Vec<SimTime> = vec![SimTime::ZERO; self.engine.n_devices()];
+
+        // Ready min-heap keyed (instant, stage, chunk): deterministic
+        // pop order, non-decreasing dispatch instants.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(SimTime, usize, usize)>> =
+            BinaryHeap::new();
+        for (s, stage_pending) in pending.iter().enumerate() {
+            for (c, &p) in stage_pending.iter().enumerate() {
+                if p == 0 {
+                    heap.push(std::cmp::Reverse((SimTime::ZERO, s, c)));
+                }
+            }
+        }
+
+        while let Some(std::cmp::Reverse((ready, s, c))) = heap.pop() {
+            let (home_slot, range) = chunk_lists[s][c];
+            let region = &pipeline.stages[s];
+            let intensity = kernel.intensity(s);
+            let in_exclude: Vec<&str> = if s > 0 {
+                links[s - 1].iter().map(|l| l.array.as_str()).collect()
+            } else {
+                Vec::new()
+            };
+            let out_exclude: Vec<&str> = if s + 1 < n_stages {
+                links[s].iter().map(|l| l.array.as_str()).collect()
+            } else {
+                Vec::new()
+            };
+
+            // Execution slot: the home slot, else the next healthy slot
+            // of this stage (deterministic round-robin); host fallback
+            // when the stage has no live device left.
+            let exec_slot = (0..region.devices.len())
+                .map(|k| (home_slot + k) % region.devices.len())
+                .find(|&sl| !quarantined[region.devices[sl] as usize]);
+            let Some(exec_slot) = exec_slot else {
+                let before = self.decisions.len();
+                let mut summary = std::mem::take(&mut summaries[s]);
+                let mut stage_kernel = StageKernel { inner: kernel, stage: s };
+                let end =
+                    self.host_fallback(region, &mut stage_kernel, &[range], ready, &mut summary);
+                summaries[s] = summary;
+                let drained: Vec<ChunkDecision> = self.decisions.drain(before..).collect();
+                stage_decisions[s].extend(drained);
+                placed[s][c] = None;
+                release_dependents(
+                    s, c, end, end, &deps, &mut pending, &mut done_dep, &mut done_out,
+                    &mut heap,
+                );
+                continue;
+            };
+            let dev = region.devices[exec_slot];
+            first_dispatch[s] =
+                Some(first_dispatch[s].map_or(ready, |t: SimTime| t.min(ready)));
+
+            // H2D: per-iteration bytes of non-linked inputs, plus
+            // remote-producer slab imports for linked inputs, plus the
+            // slot's fixed (replicated/independent/scalar) bytes on its
+            // first chunk.
+            let mut h2d = (h2d_per_iter_excluding(&plans[s], &in_exclude)
+                * range.len() as f64)
+                .round() as u64;
+            if s > 0 {
+                let prev = &pipeline.stages[s - 1];
+                for l in &links[s - 1] {
+                    let Some(pmap) = prev.array(&l.array) else { continue };
+                    let Some(dim) = pmap.distributed_dim() else { continue };
+                    let slab = pmap.slab_bytes(dim);
+                    let window = if l.full {
+                        Range::new(0, prev.trip_count)
+                    } else {
+                        producer_window(range, region.trip_count, prev.trip_count, l.halo)
+                    };
+                    for (j, &(_, pr)) in chunk_lists[s - 1].iter().enumerate() {
+                        if placed[s - 1][j] != Some(dev) {
+                            h2d += window.intersect(&pr).len() * slab;
+                        }
+                    }
+                }
+            }
+            if !fixed_sent[s][exec_slot] {
+                h2d += fixed_h2d_excluding(&plans[s], exec_slot, &in_exclude);
+            }
+            // D2H: only non-linked outputs inline; linked intermediates
+            // stay resident and flush when the pipeline drains.
+            let d2h = (d2h_per_iter_excluding(&plans[s], &out_exclude)
+                * range.len() as f64)
+                .round() as u64;
+
+            let mut summary = std::mem::take(&mut summaries[s]);
+            let outcome = self.chunk_pipeline(
+                region,
+                &intensity,
+                dev,
+                range,
+                ready,
+                h2d,
+                d2h,
+                ["pipe-in", "pipe-launch", "pipe-out"],
+                &mut summary,
+            );
+            summaries[s] = summary;
+            match outcome {
+                Ok((_, comp_done, out_done)) => {
+                    kernel.execute(s, range);
+                    fixed_sent[s][exec_slot] = true;
+                    exec_counts[s][exec_slot] += range.len();
+                    chunks_run[s] += 1;
+                    placed[s][c] = Some(dev);
+                    dev_last[dev as usize] = dev_last[dev as usize].max(out_done);
+                    let requeued = exec_slot != home_slot;
+                    if requeued {
+                        summaries[s].requeued_chunks += 1;
+                        summaries[s].requeued_iters += range.len();
+                    }
+                    if self.log_decisions {
+                        stage_decisions[s].push(ChunkDecision {
+                            slot: exec_slot,
+                            device: dev,
+                            range,
+                            stage: "pipeline",
+                            predicted_s: None,
+                            source: None,
+                            realized_s: (out_done - ready).as_secs(),
+                            requeued,
+                            donor: None,
+                            note: requeued.then_some("pipeline-requeue"),
+                        });
+                    }
+                    release_dependents(
+                        s, c, comp_done, out_done, &deps, &mut pending, &mut done_dep,
+                        &mut done_out, &mut heap,
+                    );
+                }
+                Err(f) => {
+                    // Quarantine the device pipeline-wide and requeue
+                    // the chunk; the next pop picks a healthy slot (or
+                    // the host).
+                    quarantined[dev as usize] = true;
+                    summaries[s].dropouts.push(dev);
+                    heap.push(std::cmp::Reverse((f.at, s, c)));
+                }
+            }
+        }
+
+        // ---- flush deferred copy-backs and fixed D2H -----------------
+        // Per-stage flush span (max across devices — barrier mode would
+        // run them concurrently too): charged into the stage's reported
+        // makespan so `barrier_sum` still accounts for the copy-backs
+        // the overlapped path deferred out of the per-chunk critical
+        // path.
+        let mut flush_spans: Vec<SimSpan> = vec![SimSpan::ZERO; n_stages];
+        for (s, region) in pipeline.stages.iter().enumerate() {
+            let out_exclude: Vec<&str> = if s + 1 < n_stages {
+                links[s].iter().map(|l| l.array.as_str()).collect()
+            } else {
+                Vec::new()
+            };
+            let deferred_per_iter: f64 = plans[s]
+                .per_array()
+                .iter()
+                .filter(|a| a.copies_out && out_exclude.contains(&a.name.as_str()))
+                .map(|a| match &a.kind {
+                    ArrayCostKind::LoopAligned { bytes_per_iter } => *bytes_per_iter,
+                    _ => 0.0,
+                })
+                .sum();
+            for (slot, &dev) in region.devices.iter().enumerate() {
+                if quarantined[dev as usize] || exec_counts[s][slot] == 0 {
+                    continue;
+                }
+                let bytes = (deferred_per_iter * exec_counts[s][slot] as f64).round() as u64
+                    + plans[s].d2h_fixed_bytes(slot);
+                if bytes > 0 {
+                    let span = self.engine.pure_transfer_span(dev, bytes);
+                    if span.as_secs() > flush_spans[s].as_secs() {
+                        flush_spans[s] = span;
+                    }
+                    let end = self.engine.transfer(
+                        dev,
+                        bytes,
+                        Dir::D2H,
+                        dev_last[dev as usize],
+                        "pipe-flush",
+                    );
+                    dev_last[dev as usize] = end;
+                }
+            }
+        }
+
+        // ---- end barrier, combined trace, reports --------------------
+        let mut devices: Vec<DeviceId> =
+            pipeline.stages.iter().flat_map(|r| r.devices.iter().copied()).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        let completions: Vec<SimTime> =
+            devices.iter().map(|&d| dev_last[d as usize]).collect();
+        let release = self.engine.barrier(&devices, &completions);
+        let trace = self.engine.take_trace();
+
+        let mut stage_reports = Vec::with_capacity(n_stages);
+        for (s, region) in pipeline.stages.iter().enumerate() {
+            let last = done_out[s]
+                .iter()
+                .flatten()
+                .copied()
+                .fold(SimTime::ZERO, SimTime::max);
+            let first = first_dispatch[s].unwrap_or(SimTime::ZERO);
+            stage_reports.push(OffloadReport {
+                algorithm: Algorithm::Block,
+                makespan: (last - first) + flush_spans[s],
+                completed_at: last,
+                devices: region.devices.clone(),
+                counts: std::mem::take(&mut exec_counts[s]),
+                kept_devices: region.devices.clone(),
+                chunks: chunks_run[s],
+                imbalance_pct: 0.0,
+                faults: std::mem::take(&mut summaries[s]),
+                flops_per_iter: kernel.intensity(s).flops_per_iter,
+                decisions: std::mem::take(&mut stage_decisions[s]),
+                trace: Trace::default(),
+            });
+        }
+        let barrier_sum =
+            stage_reports.iter().fold(SimSpan::ZERO, |acc, r| acc + r.makespan);
+        let mut boundary_idle = SimSpan::ZERO;
+        for s in 0..n_stages.saturating_sub(1) {
+            let prod = kernel_span(&trace, &pipeline.stages[s].name);
+            let cons = kernel_span(&trace, &pipeline.stages[s + 1].name);
+            if let (Some((_, prod_end)), Some((cons_start, _))) = (prod, cons) {
+                if cons_start > prod_end {
+                    boundary_idle += cons_start - prod_end;
+                }
+            }
+        }
+        Ok(PipelineReport {
+            name: pipeline.name.clone(),
+            overlapped: true,
+            stages: stage_reports,
+            makespan: release - self.dispatch_base,
+            completed_at: release,
+            barrier_sum,
+            boundary_idle,
+            trace,
+        })
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn finish(
         &mut self,
@@ -2780,6 +3241,163 @@ impl Runtime {
             trace,
         }
     }
+}
+
+/// Options an [`OffloadBuilder`] resolves at [`OffloadBuilder::run`].
+/// Useful when a caller computes the variant once and applies it to many
+/// offloads via [`OffloadBuilder::config`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OffloadConfig {
+    /// Skip the fixed (replicated / independent) transfers — a `target
+    /// data` region has already mapped them.
+    pub resident: bool,
+    /// Dispatch instant on the engine's un-reset calendars; `None` is
+    /// the classic reset-at-zero offload.
+    pub at: Option<SimTime>,
+}
+
+/// The unified offload entry point, returned by
+/// [`Runtime::offload`]: chain options, then [`OffloadBuilder::run`].
+///
+/// | call chain | semantics |
+/// |---|---|
+/// | `.run()` | classic offload: reset engine, map all data |
+/// | `.resident().run()` | skip fixed transfers (`target data` mapped them) |
+/// | `.at(t).run()` | dispatch at instant `t` on un-reset calendars |
+#[must_use = "an OffloadBuilder does nothing until .run()"]
+pub struct OffloadBuilder<'r, 'k> {
+    runtime: &'r mut Runtime,
+    region: &'r OffloadRegion,
+    kernel: &'k mut dyn LoopKernel,
+    config: OffloadConfig,
+}
+
+impl OffloadBuilder<'_, '_> {
+    /// Mark the region's fixed data as already device-resident (mapped
+    /// by an enclosing `target data` region): the run skips the
+    /// replicated / independent / scalar transfers.
+    pub fn resident(mut self) -> Self {
+        self.config.resident = true;
+        self
+    }
+
+    /// Dispatch at virtual instant `at` on the engine's calendars *as
+    /// they stand* (no reset) — the multi-tenant path. Dispatches must
+    /// be issued in non-decreasing `at` order; `at(SimTime::ZERO)` on a
+    /// fresh runtime is byte-identical to the classic offload.
+    pub fn at(mut self, at: SimTime) -> Self {
+        self.config.at = Some(at);
+        self
+    }
+
+    /// Replace the accumulated options wholesale.
+    pub fn config(mut self, config: OffloadConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Execute the offload.
+    pub fn run(self) -> Result<OffloadReport, OffloadError> {
+        let OffloadBuilder { runtime, region, kernel, config } = self;
+        match config.at {
+            Some(at) => runtime.offload_inner(region, kernel, config.resident, at, false),
+            None => {
+                runtime.offload_inner(region, kernel, config.resident, SimTime::ZERO, true)
+            }
+        }
+    }
+}
+
+/// `(first_start, last_end)` over the kernel ops labelled `name`, or
+/// `None` when the trace records none (e.g. [`TraceLevel::Off`]).
+fn kernel_span(trace: &Trace, name: &str) -> Option<(SimTime, SimTime)> {
+    let mut span: Option<(SimTime, SimTime)> = None;
+    for e in trace.events() {
+        if e.kind == homp_sim::OpKind::Kernel && trace.label(e.label) == name {
+            span = Some(match span {
+                Some((s, t)) => (s.min(e.start), t.max(e.end)),
+                None => (e.start, e.end),
+            });
+        }
+    }
+    span
+}
+
+/// Mark pipeline chunk `(s, c)` complete and push newly unblocked
+/// consumer chunks onto the ready heap, keyed by the latest
+/// dependency-satisfaction instant among their producers.
+#[allow(clippy::too_many_arguments)]
+fn release_dependents(
+    s: usize,
+    c: usize,
+    dep_time: SimTime,
+    out_time: SimTime,
+    deps: &[Vec<Vec<usize>>],
+    pending: &mut [Vec<usize>],
+    done_dep: &mut [Vec<Option<SimTime>>],
+    done_out: &mut [Vec<Option<SimTime>>],
+    heap: &mut BinaryHeap<std::cmp::Reverse<(SimTime, usize, usize)>>,
+) {
+    done_dep[s][c] = Some(dep_time);
+    done_out[s][c] = Some(out_time);
+    if s + 1 >= deps.len() {
+        return;
+    }
+    for (j, dl) in deps[s + 1].iter().enumerate() {
+        if dl.contains(&c) {
+            pending[s + 1][j] -= 1;
+            if pending[s + 1][j] == 0 {
+                let ready = dl
+                    .iter()
+                    .map(|&i| done_dep[s][i].expect("dependency completed"))
+                    .fold(SimTime::ZERO, SimTime::max);
+                heap.push(std::cmp::Reverse((ready, s + 1, j)));
+            }
+        }
+    }
+}
+
+/// Per-iteration H2D bytes of the plan's loop-aligned `to`/`tofrom`
+/// arrays, excluding pipeline-resident (linked) ones.
+fn h2d_per_iter_excluding(plan: &DataPlan, exclude: &[&str]) -> f64 {
+    plan.per_array()
+        .iter()
+        .filter(|a| a.copies_in && !exclude.contains(&a.name.as_str()))
+        .map(|a| match &a.kind {
+            ArrayCostKind::LoopAligned { bytes_per_iter } => *bytes_per_iter,
+            _ => 0.0,
+        })
+        .sum()
+}
+
+/// Per-iteration D2H bytes of the plan's loop-aligned `from`/`tofrom`
+/// arrays, excluding pipeline-deferred (linked) ones.
+fn d2h_per_iter_excluding(plan: &DataPlan, exclude: &[&str]) -> f64 {
+    plan.per_array()
+        .iter()
+        .filter(|a| a.copies_out && !exclude.contains(&a.name.as_str()))
+        .map(|a| match &a.kind {
+            ArrayCostKind::LoopAligned { bytes_per_iter } => *bytes_per_iter,
+            _ => 0.0,
+        })
+        .sum()
+}
+
+/// Fixed (replicated + independent + scalar) H2D bytes of `slot`,
+/// excluding pipeline-resident (linked) arrays.
+fn fixed_h2d_excluding(plan: &DataPlan, slot: usize, exclude: &[&str]) -> u64 {
+    let mut bytes = plan.scalar_bytes();
+    for a in plan.per_array() {
+        if !a.copies_in || exclude.contains(&a.name.as_str()) {
+            continue;
+        }
+        match &a.kind {
+            ArrayCostKind::Replicated => bytes += a.total_bytes,
+            ArrayCostKind::Independent { per_slot } => bytes += per_slot[slot],
+            ArrayCostKind::LoopAligned { .. } => {}
+        }
+    }
+    bytes
 }
 
 #[cfg(test)]
@@ -2826,7 +3444,7 @@ mod tests {
                     y[i as usize] += a * x[i as usize];
                 }
             });
-            rt.offload(&region, &mut kernel).unwrap()
+            rt.offload(&region, &mut kernel).run().unwrap()
         };
         (report, y)
     }
@@ -2954,7 +3572,7 @@ mod tests {
         let region = axpy_region(100, vec![0, 99], Algorithm::Block);
         let mut kernel = FnKernel::new(axpy_intensity(), |_r| {});
         assert_eq!(
-            rt.offload(&region, &mut kernel).unwrap_err(),
+            rt.offload(&region, &mut kernel).run().unwrap_err(),
             OffloadError::UnknownDevice(99)
         );
     }
@@ -3019,7 +3637,7 @@ mod tests {
             }
             let region = b.build();
             let mut kernel = FnKernel::new(axpy_intensity(), |_r| {});
-            rt.offload(&region, &mut kernel).unwrap().makespan
+            rt.offload(&region, &mut kernel).run().unwrap().makespan
         };
         let par = mk(true);
         let ser = mk(false);
@@ -3048,8 +3666,8 @@ mod tests {
             .build();
         let mut rt = Runtime::noiseless(Machine::four_k40());
         let mut kernel = FnKernel::new(axpy_intensity(), |_r| {});
-        let cold = rt.offload_with(&region, &mut kernel, false).unwrap().makespan;
-        let warm = rt.offload_with(&region, &mut kernel, true).unwrap().makespan;
+        let cold = rt.offload(&region, &mut kernel).run().unwrap().makespan;
+        let warm = rt.offload(&region, &mut kernel).resident().run().unwrap().makespan;
         assert!(warm.as_secs() < cold.as_secs());
     }
 

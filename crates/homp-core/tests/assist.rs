@@ -30,7 +30,7 @@ fn region_builder(
 fn run(mut rt: Runtime, machine: &Machine, n: u64, alg: Algorithm) -> (homp_core::OffloadReport, CoverageKernel) {
     rt.set_decision_log(true);
     let mut k = CoverageKernel::new(n);
-    let report = rt.offload(&region(n, machine, alg), &mut k).unwrap();
+    let report = rt.offload(&region(n, machine, alg), &mut k).run().unwrap();
     (report, k)
 }
 
@@ -88,7 +88,7 @@ fn stragglers_get_assisted_on_irregular_loops() {
         rt.set_decision_log(true);
         let mut k = CoverageKernel::with_intensity(n, compute_bound);
         let r = region_builder(n, &machine, alg).cost_profile(ramp).build();
-        let report = rt.offload(&r, &mut k).unwrap();
+        let report = rt.offload(&r, &mut k).run().unwrap();
         (report, k)
     };
 
@@ -128,14 +128,14 @@ fn dropped_device_tail_is_adopted_by_assisting_peers_exactly_once() {
     let healthy = {
         let mut rt = Runtime::new(machine.clone(), 42);
         let mut k = CoverageKernel::new(n);
-        rt.offload(&region(n, &machine, alg), &mut k).unwrap().makespan.as_secs()
+        rt.offload(&region(n, &machine, alg), &mut k).run().unwrap().makespan.as_secs()
     };
 
     let plan = FaultPlan::new(9).with_dropout_at(2, healthy * 0.5);
     let mut rt = Runtime::with_fault_config(machine.clone(), 42, FaultConfig::new(plan));
     rt.set_decision_log(true);
     let mut k = CoverageKernel::new(n);
-    let report = rt.offload(&region(n, &machine, alg), &mut k).unwrap();
+    let report = rt.offload(&region(n, &machine, alg), &mut k).run().unwrap();
 
     assert_eq!(report.faults.dropouts, vec![2], "device 2 must drop");
     k.assert_exactly_once("fault x assist");

@@ -30,7 +30,7 @@ fn check(mut rt: Runtime, machine: &Machine, n: u64, alg: Algorithm, label: &str
     rt.set_decision_log(true);
     let mut k = CoverageKernel::new(n);
     let report = rt
-        .offload(&region(n, machine, alg), &mut k)
+        .offload(&region(n, machine, alg), &mut k).run()
         .unwrap_or_else(|e| panic!("{label}: offload failed: {e:?}"));
     k.assert_exactly_once(label);
     assert_decisions_partition(&report, n, label);
@@ -78,7 +78,7 @@ proptest! {
             let healthy = {
                 let mut rt = Runtime::new(machine.clone(), seed);
                 let mut k = CoverageKernel::new(n);
-                rt.offload(&region(n, &machine, alg), &mut k).unwrap().makespan.as_secs()
+                rt.offload(&region(n, &machine, alg), &mut k).run().unwrap().makespan.as_secs()
             };
             let plan = FaultPlan::new(seed).with_dropout_at(victim, healthy * frac);
             let rt = Runtime::with_fault_config(machine.clone(), seed, FaultConfig::new(plan));

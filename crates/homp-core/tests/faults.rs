@@ -41,7 +41,7 @@ fn run_counted(
                 hits[i as usize] += 1;
             }
         });
-        rt.offload(&region(n, alg), &mut k)
+        rt.offload(&region(n, alg), &mut k).run()
     };
     (res, hits)
 }

@@ -40,7 +40,7 @@ fn run_heavy(
 ) -> (homp_core::OffloadReport, CoverageKernel) {
     rt.set_decision_log(true);
     let mut k = CoverageKernel::with_intensity(n, heavy_intensity());
-    let report = rt.offload(&region(n, alg), &mut k).unwrap();
+    let report = rt.offload(&region(n, alg), &mut k).run().unwrap();
     (report, k)
 }
 
@@ -135,7 +135,7 @@ fn host_fallback_output_is_bitwise_correct() {
                 y[i as usize] += a * x[i as usize];
             }
         });
-        rt.offload(&region(n, Algorithm::Block), &mut k).unwrap()
+        rt.offload(&region(n, Algorithm::Block), &mut k).run().unwrap()
     };
 
     assert_eq!(y, expected, "host fallback must produce the exact same bits");

@@ -38,7 +38,7 @@ fn region(n: u64, alg: Algorithm) -> OffloadRegion {
 
 fn run(mut rt: Runtime, n: u64, alg: Algorithm) -> homp_core::OffloadReport {
     let mut k = FnKernel::new(intensity(), |_r: Range| {});
-    rt.offload(&region(n, alg), &mut k).unwrap()
+    rt.offload(&region(n, alg), &mut k).run().unwrap()
 }
 
 /// (algorithm, makespan seconds, chunks, per-slot counts) captured
@@ -112,11 +112,11 @@ fn reset_with_seed_matches_freshly_built_runtime() {
         // Dirty the reused runtime under a different seed first.
         reused.reset_with_seed(1234);
         let mut warm = FnKernel::new(intensity(), |_r: Range| {});
-        reused.offload(&region(10_000, alg), &mut warm).unwrap();
+        reused.offload(&region(10_000, alg), &mut warm).run().unwrap();
 
         reused.reset_with_seed(42);
         let mut k = FnKernel::new(intensity(), |_r: Range| {});
-        let rep = reused.offload(&region(10_000, alg), &mut k).unwrap();
+        let rep = reused.offload(&region(10_000, alg), &mut k).run().unwrap();
         let fresh = run(Runtime::new(Machine::four_k40(), 42), 10_000, alg);
 
         assert_eq!(rep.makespan.as_secs(), makespan, "{alg}: reused runtime drifted from golden");

@@ -33,7 +33,7 @@ fn region(n: u64, alg: Algorithm) -> OffloadRegion {
 fn run(mut rt: Runtime, n: u64, alg: Algorithm, log: bool) -> homp_core::OffloadReport {
     rt.set_decision_log(log);
     let mut k = FnKernel::new(intensity(), |_r: Range| {});
-    rt.offload(&region(n, alg), &mut k).unwrap()
+    rt.offload(&region(n, alg), &mut k).run().unwrap()
 }
 
 #[test]

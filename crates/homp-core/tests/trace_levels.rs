@@ -40,7 +40,7 @@ fn run_at(
 ) -> (homp_core::OffloadReport, CoverageKernel) {
     let mut rt = RuntimeConfig::new().seed(seed).trace_level(level).build(machine.clone());
     let mut k = CoverageKernel::new(n);
-    let report = rt.offload(&region(n, machine, alg), &mut k).unwrap();
+    let report = rt.offload(&region(n, machine, alg), &mut k).run().unwrap();
     (report, k)
 }
 

@@ -37,7 +37,7 @@ fn static_plans_have_one_kernel_event_per_device() {
     for alg in [Algorithm::Block, Algorithm::Model1 { cutoff: None }, Algorithm::Model2 { cutoff: None }] {
         let mut rt = Runtime::new(Machine::four_k40(), 1);
         let mut k = FnKernel::new(intensity(), |_r: Range| {});
-        let rep = rt.offload(&region(100_000, alg), &mut k).unwrap();
+        let rep = rt.offload(&region(100_000, alg), &mut k).run().unwrap();
         let active = rep.counts.iter().filter(|&&c| c > 0).count();
         assert_eq!(
             kernel_events(&rep.trace),
@@ -52,7 +52,7 @@ fn chunked_plans_have_one_kernel_event_per_chunk() {
     for alg in [Algorithm::Dynamic { chunk_pct: 2.0 }, Algorithm::Guided { chunk_pct: 20.0 }] {
         let mut rt = Runtime::new(Machine::four_k40(), 2);
         let mut k = FnKernel::new(intensity(), |_r: Range| {});
-        let rep = rt.offload(&region(100_000, alg), &mut k).unwrap();
+        let rep = rt.offload(&region(100_000, alg), &mut k).run().unwrap();
         assert_eq!(kernel_events(&rep.trace) as u64, rep.chunks, "{alg}");
         assert!(rep.chunks > 4, "{alg} must be multi-stage");
     }
@@ -63,7 +63,7 @@ fn profiled_plans_have_at_most_two_kernel_waves_per_device() {
     let mut rt = Runtime::new(Machine::four_k40(), 3);
     let mut k = FnKernel::new(intensity(), |_r: Range| {});
     let rep = rt
-        .offload(&region(100_000, Algorithm::ProfileConst { sample_pct: 10.0, cutoff: None }), &mut k)
+        .offload(&region(100_000, Algorithm::ProfileConst { sample_pct: 10.0, cutoff: None }), &mut k).run()
         .unwrap();
     for dev in 0..4u32 {
         let per_dev = rep
@@ -83,7 +83,7 @@ fn trace_bytes_reconcile_with_data_plan() {
     let plan = DataPlan::new(&reg, 4).unwrap();
     let mut rt = Runtime::noiseless(Machine::four_k40());
     let mut k = FnKernel::new(intensity(), |_r: Range| {});
-    let rep = rt.offload(&reg, &mut k).unwrap();
+    let rep = rt.offload(&reg, &mut k).run().unwrap();
 
     let h2d_traced: u64 = rep
         .trace
@@ -110,7 +110,7 @@ fn kernel_event_iterations_match_counts() {
     for alg in Algorithm::paper_suite() {
         let mut rt = Runtime::new(Machine::four_k40(), 5);
         let mut k = FnKernel::new(intensity(), |_r: Range| {});
-        let rep = rt.offload(&region(80_000, alg), &mut k).unwrap();
+        let rep = rt.offload(&region(80_000, alg), &mut k).run().unwrap();
         for dev in 0..4u32 {
             let traced: u64 = rep
                 .trace
@@ -138,7 +138,7 @@ fn host_devices_never_appear_in_transfer_events() {
         .map_1d("x", MapDir::To, n, 8, DistPolicy::Align { target: "loop".into(), ratio: 1 })
         .build();
     let mut k = FnKernel::new(intensity(), |_r: Range| {});
-    let rep = rt.offload(&reg, &mut k).unwrap();
+    let rep = rt.offload(&reg, &mut k).run().unwrap();
     for e in rep.trace.events() {
         if matches!(e.kind, OpKind::H2D | OpKind::D2H) {
             assert!(

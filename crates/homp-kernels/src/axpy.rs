@@ -120,7 +120,7 @@ mod tests {
         let mut k = Axpy::new(4096, -1.5);
         let expected = k.expected();
         let region = region(4096, vec![0, 1, 2, 3], Algorithm::Dynamic { chunk_pct: 2.0 });
-        rt.offload(&region, &mut k).unwrap();
+        rt.offload(&region, &mut k).run().unwrap();
         assert_eq!(k.y, expected);
     }
 

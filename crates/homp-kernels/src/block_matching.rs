@@ -219,7 +219,7 @@ mod tests {
         let mut k = BlockMatching::new(n);
         let expected = k.reference();
         let region = region(n as u64, vec![0, 1, 2, 3], Algorithm::Dynamic { chunk_pct: 25.0 });
-        rt.offload(&region, &mut k).unwrap();
+        rt.offload(&region, &mut k).run().unwrap();
         assert_eq!(k.motion, expected);
     }
 

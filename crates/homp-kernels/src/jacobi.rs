@@ -301,7 +301,7 @@ impl Jacobi {
                     me.borrow_mut().copy_rows(r);
                 });
                 let rep =
-                    rt.offload(&copy_region, &mut copy_kernel).expect("copy loop offload");
+                    rt.offload(&copy_region, &mut copy_kernel).run().expect("copy loop offload");
                 total += rep.makespan;
                 let (hi, di) = offload_bytes(&rep);
                 h2d += hi;
@@ -324,7 +324,7 @@ impl Jacobi {
                     partials.push(e);
                 });
                 let rep =
-                    rt.offload(&region, &mut update_kernel).expect("update loop offload");
+                    rt.offload(&region, &mut update_kernel).run().expect("update loop offload");
                 total += rep.makespan;
                 let (hi, di) = offload_bytes(&rep);
                 h2d += hi;

@@ -151,7 +151,7 @@ mod tests {
         let mut k = MatMul::new(n);
         let expected = k.reference();
         let region = region(n as u64, vec![0, 1, 2, 3], Algorithm::Block);
-        rt.offload(&region, &mut k).unwrap();
+        rt.offload(&region, &mut k).run().unwrap();
         assert_eq!(k.c, expected);
     }
 
@@ -166,7 +166,7 @@ mod tests {
             (0..7).collect(),
             Algorithm::ProfileConst { sample_pct: 10.0, cutoff: Some(0.15) },
         );
-        rt.offload(&region, &mut k).unwrap();
+        rt.offload(&region, &mut k).run().unwrap();
         assert_eq!(k.c, expected);
     }
 }

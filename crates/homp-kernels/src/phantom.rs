@@ -62,7 +62,7 @@ mod tests {
         let mut rt = Runtime::new(Machine::four_k40(), 1);
         let region = axpy::region(n, vec![0, 1, 2, 3], Algorithm::Dynamic { chunk_pct: 2.0 });
         let mut p = PhantomKernel::new(axpy::intensity());
-        let report = rt.offload(&region, &mut p).unwrap();
+        let report = rt.offload(&region, &mut p).run().unwrap();
         assert_eq!(p.executed(), n);
         assert!(report.time_ms() > 1.0, "10M axpy over PCIe takes real milliseconds");
     }
@@ -75,8 +75,8 @@ mod tests {
         let mut rt2 = Runtime::new(Machine::four_k40(), 5);
         let mut real = axpy::Axpy::new(n as usize, 2.0);
         let mut phantom = PhantomKernel::new(axpy::intensity());
-        let r1 = rt1.offload(&region, &mut real).unwrap();
-        let r2 = rt2.offload(&region, &mut phantom).unwrap();
+        let r1 = rt1.offload(&region, &mut real).run().unwrap();
+        let r2 = rt2.offload(&region, &mut phantom).run().unwrap();
         assert_eq!(r1.makespan, r2.makespan, "virtual time is independent of real math");
     }
 }

@@ -146,7 +146,7 @@ mod tests {
         for spec in KernelSpec::paper_suite() {
             let region = spec.region(vec![0, 1, 2, 3], Algorithm::Block);
             let mut phantom = PhantomKernel::new(spec.intensity());
-            let report = rt.offload(&region, &mut phantom).unwrap();
+            let report = rt.offload(&region, &mut phantom).run().unwrap();
             assert_eq!(phantom.executed(), spec.trip_count(), "{}", spec.label());
             assert!(report.time_ms() > 0.0, "{}", spec.label());
         }

@@ -173,7 +173,7 @@ mod tests {
             let mut k = Stencil2d::new(n);
             let expected = k.reference();
             let region = region(n as u64, vec![0, 1, 2, 3], alg);
-            rt.offload(&region, &mut k).unwrap();
+            rt.offload(&region, &mut k).run().unwrap();
             assert_eq!(k.u_next, expected, "{alg}");
         }
     }

@@ -96,7 +96,7 @@ mod tests {
             let mut k = Sum::new(100_000);
             let expected = k.reference();
             let region = region(100_000, (0..7).collect(), alg);
-            rt.offload(&region, &mut k).unwrap();
+            rt.offload(&region, &mut k).run().unwrap();
             let rel = (k.value() - expected).abs() / expected.abs().max(1.0);
             assert!(rel < 1e-10, "{alg}: {} vs {}", k.value(), expected);
         }

@@ -582,6 +582,38 @@ pub enum Clause {
     /// `from(items…)` motion clause on a `target update` directive:
     /// force-copy device data back to the host.
     UpdateFrom(Vec<MapItem>),
+    /// `nowait` — the offload does not end at a barrier: a downstream
+    /// pipeline stage may consume produced chunks as they land.
+    Nowait,
+    /// `depend(in|out|inout: vars…)` — explicit dependency arrays for
+    /// pipeline edge inference, overriding map-direction inference.
+    Depend {
+        /// Dependence direction.
+        kind: DependKind,
+        /// The named arrays.
+        vars: Vec<String>,
+    },
+}
+
+/// Direction of a `depend(…)` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependKind {
+    /// `depend(in: …)` — the stage reads these arrays.
+    In,
+    /// `depend(out: …)` — the stage writes these arrays.
+    Out,
+    /// `depend(inout: …)` — the stage both reads and writes them.
+    InOut,
+}
+
+impl fmt::Display for DependKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DependKind::In => write!(f, "in"),
+            DependKind::Out => write!(f, "out"),
+            DependKind::InOut => write!(f, "inout"),
+        }
+    }
 }
 
 impl fmt::Display for Clause {
@@ -614,6 +646,10 @@ impl fmt::Display for Clause {
                     write!(f, "{item}")?;
                 }
                 write!(f, ")")
+            }
+            Clause::Nowait => write!(f, "nowait"),
+            Clause::Depend { kind, vars } => {
+                write!(f, "depend({kind}: {})", vars.join(", "))
             }
         }
     }
@@ -744,6 +780,39 @@ impl Directive {
                 _ => None,
             })
             .unwrap_or(1)
+    }
+
+    /// Whether the directive carries a `nowait` clause.
+    pub fn is_nowait(&self) -> bool {
+        self.clauses.iter().any(|c| matches!(c, Clause::Nowait))
+    }
+
+    /// Arrays named in `depend(in: …)` and `depend(inout: …)` clauses,
+    /// in source order.
+    pub fn depends_in(&self) -> impl Iterator<Item = &str> {
+        self.clauses
+            .iter()
+            .filter_map(|c| match c {
+                Clause::Depend { kind: DependKind::In | DependKind::InOut, vars } => {
+                    Some(vars.iter().map(String::as_str))
+                }
+                _ => None,
+            })
+            .flatten()
+    }
+
+    /// Arrays named in `depend(out: …)` and `depend(inout: …)` clauses,
+    /// in source order.
+    pub fn depends_out(&self) -> impl Iterator<Item = &str> {
+        self.clauses
+            .iter()
+            .filter_map(|c| match c {
+                Clause::Depend { kind: DependKind::Out | DependKind::InOut, vars } => {
+                    Some(vars.iter().map(String::as_str))
+                }
+                _ => None,
+            })
+            .flatten()
     }
 }
 

@@ -229,6 +229,11 @@ impl Parser {
                         "num_threads" => self.num_threads_clause()?,
                         "shared" => Clause::Shared(self.ident_list_clause()?),
                         "private" => Clause::Private(self.ident_list_clause()?),
+                        "nowait" => {
+                            self.bump();
+                            Clause::Nowait
+                        }
+                        "depend" => self.depend_clause()?,
                         // `to(...)` / `from(...)` are motion clauses and
                         // only mean something on `target update`; anywhere
                         // else they stay unknown (map directions live
@@ -555,6 +560,26 @@ impl Parser {
         Ok(Clause::Reduction { op, vars })
     }
 
+    /// `depend(in: a, b)` / `depend(out: c)` / `depend(inout: d)`.
+    fn depend_clause(&mut self) -> Result<Clause, ParseError> {
+        self.bump(); // depend
+        self.expect(&TokenKind::LParen)?;
+        let kind_word = self.expect_ident()?;
+        let kind = match kind_word.as_str() {
+            "in" => DependKind::In,
+            "out" => DependKind::Out,
+            "inout" => DependKind::InOut,
+            other => return Err(self.err(format!("unknown depend kind `{other}`"))),
+        };
+        self.expect(&TokenKind::Colon)?;
+        let mut vars = vec![self.expect_ident()?];
+        while self.eat(&TokenKind::Comma) {
+            vars.push(self.expect_ident()?);
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Clause::Depend { kind, vars })
+    }
+
     fn num_threads_clause(&mut self) -> Result<Clause, ParseError> {
         self.bump(); // num_threads
         self.expect(&TokenKind::LParen)?;
@@ -658,6 +683,40 @@ mod tests {
             other => panic!("expected array, got {other:?}"),
         }
         assert_eq!(maps[1].items[1], MapItem::Scalar("a".into()));
+    }
+
+    #[test]
+    fn parses_nowait_and_depend() {
+        let d = parse_directive(
+            "#pragma omp parallel for target device(*) nowait \
+             depend(in: u) depend(out: unew, resid) depend(inout: scratch)",
+        )
+        .unwrap();
+        assert!(d.is_nowait());
+        let ins: Vec<_> = d.depends_in().collect();
+        let outs: Vec<_> = d.depends_out().collect();
+        assert_eq!(ins, ["u", "scratch"]);
+        assert_eq!(outs, ["unew", "resid", "scratch"]);
+        // Canonical form round-trips through the parser.
+        let printed = d.to_string();
+        let again = parse_directive(&printed).unwrap();
+        assert_eq!(d, again);
+    }
+
+    #[test]
+    fn depend_without_nowait_and_vice_versa() {
+        let d = parse_directive("target nowait").unwrap();
+        assert!(d.is_nowait());
+        assert_eq!(d.depends_in().count(), 0);
+        let d = parse_directive("target depend(in: a)").unwrap();
+        assert!(!d.is_nowait());
+        assert_eq!(d.depends_in().collect::<Vec<_>>(), ["a"]);
+    }
+
+    #[test]
+    fn rejects_unknown_depend_kind() {
+        let err = parse_directive("target depend(sideways: a)").unwrap_err();
+        assert!(err.message.contains("depend kind"), "{err}");
     }
 
     #[test]

@@ -329,7 +329,7 @@ impl Server {
                 credit: before,
             });
 
-            let report = self.rt.offload_at(&req.region, req.kernel.as_mut(), false, now)?;
+            let report = self.rt.offload(&req.region, req.kernel.as_mut()).at(now).run()?;
             *credit.entry(req.tenant).or_insert(0.0) +=
                 report.makespan.as_secs() / req.weight.max(1e-9);
             inflight.push(report.completed_at);
@@ -463,7 +463,7 @@ mod tests {
 
         let mut rt = Runtime::new(m.clone(), 42);
         let mut k = PhantomKernel::new(spec.intensity());
-        let direct = rt.offload(&spec.region(devices(&m), Algorithm::Model2 { cutoff: None }), &mut k).unwrap();
+        let direct = rt.offload(&spec.region(devices(&m), Algorithm::Model2 { cutoff: None }), &mut k).run().unwrap();
 
         let mut srv = Server::new(m.clone(), 42);
         let served = srv.serve(vec![request(&m, spec, 7, 0.0)]).unwrap();

@@ -80,11 +80,11 @@ fn back_to_back(
     let mut out_b = vec![0.0f64; n as usize];
     {
         let mut k = kernel_for(&mut out_a, 0);
-        rt.offload(&region("tenant-a", n, machine, alg), &mut k).expect("tenant A offload");
+        rt.offload(&region("tenant-a", n, machine, alg), &mut k).run().expect("tenant A offload");
     }
     {
         let mut k = kernel_for(&mut out_b, 1);
-        rt.offload(&region("tenant-b", n, machine, alg), &mut k).expect("tenant B offload");
+        rt.offload(&region("tenant-b", n, machine, alg), &mut k).run().expect("tenant B offload");
     }
     (out_a, out_b)
 }

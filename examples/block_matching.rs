@@ -40,7 +40,7 @@ fn main() {
         let mut rt = Runtime::new(Machine::four_k40(), 5);
         let mut k = BlockMatching::new(n);
         let region = block_matching::region(n as u64, vec![0, 1, 2, 3], alg);
-        let report = rt.offload(&region, &mut k).expect("offload");
+        let report = rt.offload(&region, &mut k).run().expect("offload");
         assert_eq!(k.motion, reference, "every policy computes the same vectors");
         let (hits, total) = interior_ok(&k.motion);
         println!(

@@ -23,7 +23,7 @@ fn main() {
         let mut rt = Runtime::new(machine.clone(), 23);
         let region = spec.region((0..7).collect(), Algorithm::Model2 { cutoff: Some(ratio) });
         let mut phantom = PhantomKernel::new(spec.intensity());
-        let report = rt.offload(&region, &mut phantom).expect("offload");
+        let report = rt.offload(&region, &mut phantom).run().expect("offload");
 
         let kept: Vec<String> = report
             .kept_devices

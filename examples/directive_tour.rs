@@ -90,7 +90,33 @@ fn main() {
         );
     }
 
-    println!("\n== 7. Parse errors carry positions ==");
+    println!("\n== 7. Pipeline clauses: nowait + depend ==");
+    let sweep = parse_directive(
+        "#pragma omp parallel for target device(*) nowait \
+         depend(in: u) depend(out: unew) \
+         map(to: u[0:n] partition([ALIGN(loop)]), n) \
+         map(tofrom: unew[0:n] partition([ALIGN(loop)])) \
+         distribute dist_schedule(target:[BLOCK])",
+    )
+    .unwrap();
+    println!("  canonical form:");
+    println!("  {sweep}");
+    let stage = homp::core::compile(
+        &[&sweep],
+        &env,
+        &type_names,
+        &CompileOptions::for_loop("sweep", 512),
+    )
+    .unwrap();
+    println!(
+        "  lowered: nowait={} depend(in: {:?}) depend(out: {:?})",
+        stage.nowait, stage.depends_in, stage.depends_out
+    );
+    println!("  -> feed such stages to Pipeline::builder().then(...) and");
+    println!("     Runtime::offload_pipeline chunks consumer launches on");
+    println!("     producer-chunk completion (see examples/pipeline.rs).");
+
+    println!("\n== 8. Parse errors carry positions ==");
     let err = parse_directive("parallel for target frobnicate(3)").unwrap_err();
     println!("  {err}");
 }

@@ -36,7 +36,7 @@ fn run(homp: &mut Homp, label: &str) -> OffloadReport {
                 y[i] += a * x[i];
             }
         });
-        homp.offload(&region, &mut kernel).expect("offload survives the faults")
+        homp.offload(&region, &mut kernel).run().expect("offload survives the faults")
     };
 
     // Exactly-once execution: the math is correct despite the failures.

@@ -52,7 +52,7 @@ fn main() {
     println!("\nmatvec-{n} (A ≈ {:.1} GB) under BLOCK:", (n * n * 8) as f64 / 1e9);
     let region = matvec::region(n, vec![0, 1, 2], Algorithm::Block);
     let mut phantom = PhantomKernel::new(matvec::intensity(n));
-    match rt.offload(&region, &mut phantom) {
+    match rt.offload(&region, &mut phantom).run() {
         Err(e) => println!("  rejected as expected: {e}"),
         Ok(r) => println!("  unexpectedly ran in {:.3} ms", r.time_ms()),
     }
@@ -60,7 +60,7 @@ fn main() {
     println!("\nsame workload under SCHED_DYNAMIC,1% (streams two chunks at a time):");
     let region = matvec::region(n, vec![0, 1, 2], Algorithm::Dynamic { chunk_pct: 1.0 });
     let mut phantom = PhantomKernel::new(matvec::intensity(n));
-    match rt.offload(&region, &mut phantom) {
+    match rt.offload(&region, &mut phantom).run() {
         Ok(r) => {
             println!(
                 "  ran in {:.3} ms over {} chunks; per-device rows: {:?}",
@@ -75,7 +75,7 @@ fn main() {
     println!("\nMODEL_2 with the tiny GPU cut off (15%):");
     let region = matvec::region(n, vec![0, 1, 2], Algorithm::Model2 { cutoff: Some(0.15) });
     let mut phantom = PhantomKernel::new(matvec::intensity(n));
-    match rt.offload(&region, &mut phantom) {
+    match rt.offload(&region, &mut phantom).run() {
         Ok(r) => println!(
             "  ran in {:.3} ms; devices kept: {:?}",
             r.time_ms(),

@@ -40,7 +40,7 @@ fn run(homp: &mut Homp, schedule: &str) -> OffloadReport {
                 y[i] += a * x[i];
             }
         });
-        homp.offload(&region, &mut kernel).expect("offload")
+        homp.offload(&region, &mut kernel).run().expect("offload")
     };
     assert!(y.iter().enumerate().all(|(i, &v)| v == 1.0 + a * ((i % 10) as f64)));
     report

@@ -28,7 +28,7 @@ fn run_variant(homp: &mut Homp, name: &str, directives: &[&str]) {
                 y[i] += a * x[i];
             }
         });
-        homp.offload(&region, &mut kernel).expect("offload runs")
+        homp.offload(&region, &mut kernel).run().expect("offload runs")
     };
 
     // Verify the math really happened.

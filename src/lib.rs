@@ -57,7 +57,7 @@
 //!         |r: Range| for i in r.start..r.end {
 //!             y[i as usize] += a * x[i as usize];
 //!         });
-//!     homp.offload(&region, &mut kernel).unwrap()
+//!     homp.offload(&region, &mut kernel).run().unwrap()
 //! };
 //! assert!(y.iter().all(|&v| v == 2.0));
 //! println!("{} finished in {:.3} ms across {} devices",
@@ -77,10 +77,11 @@ pub use homp_sim as sim;
 /// The items most programs need.
 pub mod prelude {
     pub use homp_core::{
-        Algorithm, ChunkDecision, CompileError, CompileOptions, DataRegion, DataRegionReport,
-        FaultConfig, FnKernel, Homp, HompError, KernelDescriptor, KernelInfo, LoopKernel,
-        OffloadError, OffloadRegion, OffloadReport, Range, RunReport, Runtime, RuntimeConfig,
-        UpdateReport,
+        Algorithm, ChunkDecision, ChunkingPolicy, CompileError, CompileOptions, DataRegion,
+        DataRegionReport, FaultConfig, FnKernel, FnPipelineKernel, Homp, HompError,
+        KernelDescriptor, KernelInfo, LoopKernel, OffloadBuilder, OffloadConfig, OffloadError,
+        OffloadRegion, OffloadReport, Pipeline, PipelineBuilder, PipelineKernel,
+        PipelineReport, Range, RunReport, Runtime, RuntimeConfig, UpdateReport,
     };
     pub use homp_kernels::{KernelSpec, PhantomKernel};
     pub use homp_serve::{

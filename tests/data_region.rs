@@ -98,7 +98,7 @@ fn facade_data_region_guard_round_trips() {
                 y[i as usize] += a * x[i as usize];
             }
         });
-        region.offload_here(&mut kernel).unwrap();
+        region.offload_here(&mut kernel).run().unwrap();
     }
     let close = region.close().unwrap();
     assert_eq!(close.flushed_bytes, (n * 8) as u64, "y flushes once at close");

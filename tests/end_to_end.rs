@@ -30,7 +30,7 @@ fn axpy_from_directives_on_every_machine() {
             .unwrap();
         let mut k = axpy::Axpy::new(n, 3.5);
         let expected = k.expected();
-        let report = homp.offload(&region, &mut k).unwrap();
+        let report = homp.offload(&region, &mut k).run().unwrap();
         assert_eq!(k.y, expected, "machine {}", machine.name);
         assert_eq!(report.counts.iter().sum::<u64>(), n as u64);
     }
@@ -45,31 +45,31 @@ fn every_kernel_every_algorithm_is_numerically_correct() {
         let mut rt = Runtime::new(machine.clone(), 31);
         let mut ax = axpy::Axpy::new(5_000, -0.5);
         let want = ax.expected();
-        rt.offload(&axpy::region(5_000, devices.clone(), alg), &mut ax).unwrap();
+        rt.offload(&axpy::region(5_000, devices.clone(), alg), &mut ax).run().unwrap();
         assert_eq!(ax.y, want, "axpy under {alg}");
 
         let mut rt = Runtime::new(machine.clone(), 32);
         let mut mv = matvec::MatVec::new(96);
         let want = mv.reference();
-        rt.offload(&matvec::region(96, devices.clone(), alg), &mut mv).unwrap();
+        rt.offload(&matvec::region(96, devices.clone(), alg), &mut mv).run().unwrap();
         assert_eq!(mv.y, want, "matvec under {alg}");
 
         let mut rt = Runtime::new(machine.clone(), 33);
         let mut mm = matmul::MatMul::new(64);
         let want = mm.reference();
-        rt.offload(&matmul::region(64, devices.clone(), alg), &mut mm).unwrap();
+        rt.offload(&matmul::region(64, devices.clone(), alg), &mut mm).run().unwrap();
         assert_eq!(mm.c, want, "matmul under {alg}");
 
         let mut rt = Runtime::new(machine.clone(), 34);
         let mut st = stencil::Stencil2d::new(64);
         let want = st.reference();
-        rt.offload(&stencil::region(64, devices.clone(), alg), &mut st).unwrap();
+        rt.offload(&stencil::region(64, devices.clone(), alg), &mut st).run().unwrap();
         assert_eq!(st.u_next, want, "stencil under {alg}");
 
         let mut rt = Runtime::new(machine.clone(), 35);
         let mut s = sum::Sum::new(30_000);
         let want = s.reference();
-        rt.offload(&sum::region(30_000, devices.clone(), alg), &mut s).unwrap();
+        rt.offload(&sum::region(30_000, devices.clone(), alg), &mut s).run().unwrap();
         let rel = (s.value() - want).abs() / want.abs().max(1.0);
         assert!(rel < 1e-9, "sum under {alg}: {} vs {}", s.value(), want);
     }
@@ -99,7 +99,7 @@ fn serialized_and_parallel_offload_same_results() {
             .unwrap();
         assert_eq!(region.parallel_offload, parallel);
         let mut k = axpy::Axpy::new(n, 2.0);
-        let report = homp.offload(&region, &mut k).unwrap();
+        let report = homp.offload(&region, &mut k).run().unwrap();
         (k.y, report.makespan)
     };
     let (y_par, t_par) = run(true);
@@ -126,7 +126,7 @@ fn cutoff_region_from_directive_drops_devices() {
         )
         .unwrap();
     let mut k = sum::Sum::new(100_000);
-    let report = homp.offload(&region, &mut k).unwrap();
+    let report = homp.offload(&region, &mut k).run().unwrap();
     assert!(
         report.kept_devices.len() < report.devices.len(),
         "15% cutoff on the full node must drop someone for a data-bound kernel"
@@ -142,7 +142,7 @@ fn machine_description_file_roundtrip_through_runtime() {
     let mut rt = Runtime::new(machine, 99);
     let mut k = axpy::Axpy::new(1_000, 1.0);
     let want = k.expected();
-    rt.offload(&axpy::region(1_000, (0..7).collect(), Algorithm::Block), &mut k).unwrap();
+    rt.offload(&axpy::region(1_000, (0..7).collect(), Algorithm::Block), &mut k).run().unwrap();
     assert_eq!(k.y, want);
 }
 
@@ -158,7 +158,7 @@ fn oversized_replicated_array_is_rejected() {
         .build();
     let mut rt = Runtime::new(Machine::four_k40(), 1);
     let mut k = FnKernel::new(homp::kernels::axpy::intensity(), |_r: Range| {});
-    match rt.offload(&region, &mut k) {
+    match rt.offload(&region, &mut k).run() {
         Err(homp::core::OffloadError::OutOfDeviceMemory { device, required, capacity }) => {
             assert_eq!(device, 0);
             assert!(required >= n * 8);
@@ -176,14 +176,14 @@ fn matvec_48k_fits_when_distributed() {
     let mut rt = Runtime::new(Machine::four_k40(), 1);
     let region = spec.region(vec![0, 1, 2, 3], Algorithm::Block);
     let mut k = PhantomKernel::new(spec.intensity());
-    assert!(rt.offload(&region, &mut k).is_ok());
+    assert!(rt.offload(&region, &mut k).run().is_ok());
 
     // …but a single K40 rejects it.
     let mut rt1 = Runtime::new(Machine::k40s(1), 1);
     let region1 = spec.region(vec![0], Algorithm::Block);
     let mut k1 = PhantomKernel::new(spec.intensity());
     assert!(matches!(
-        rt1.offload(&region1, &mut k1),
+        rt1.offload(&region1, &mut k1).run(),
         Err(homp::core::OffloadError::OutOfDeviceMemory { .. })
     ));
 }

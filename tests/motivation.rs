@@ -11,7 +11,7 @@ fn run(machine: &Machine, devices: Vec<u32>, alg: Algorithm, seed: u64) -> (f64,
     let mut rt = Runtime::new(machine.clone(), seed);
     let mut k = axpy::Axpy::new(n, 2.0);
     let region = axpy::region(n as u64, devices, alg);
-    let rep = rt.offload(&region, &mut k).unwrap();
+    let rep = rt.offload(&region, &mut k).run().unwrap();
     (rep.time_ms(), k.y)
 }
 
@@ -66,6 +66,6 @@ fn manual_even_split_is_the_block_algorithm() {
     let n = 10_003u64; // remainder 3
     let mut rt = Runtime::new(m, 1);
     let mut k = axpy::Axpy::new(n as usize, 1.0);
-    let rep = rt.offload(&axpy::region(n, vec![0, 1, 2, 3], Algorithm::Block), &mut k).unwrap();
+    let rep = rt.offload(&axpy::region(n, vec![0, 1, 2, 3], Algorithm::Block), &mut k).run().unwrap();
     assert_eq!(rep.counts, vec![2501, 2501, 2501, 2500]);
 }

@@ -14,7 +14,7 @@ fn try_time_of(machine: &Machine, spec: KernelSpec, alg: Algorithm, seed: u64) -
     let mut rt = Runtime::new(machine.clone(), seed);
     let region = spec.region((0..machine.len() as u32).collect(), alg);
     let mut k = PhantomKernel::new(spec.intensity());
-    match rt.offload(&region, &mut k) {
+    match rt.offload(&region, &mut k).run() {
         Ok(r) => Some(r.time_ms()),
         Err(homp::core::OffloadError::OutOfDeviceMemory { .. }) => None,
         Err(e) => panic!("{e}"),
@@ -74,7 +74,7 @@ fn fig6_block_imbalance_below_5pct_on_identical_gpus() {
         let spec = KernelSpec::MatMul(6_144);
         let region = spec.region(vec![0, 1, 2, 3], Algorithm::Block);
         let mut k = PhantomKernel::new(spec.intensity());
-        imbs.push(rt.offload(&region, &mut k).unwrap().imbalance_pct);
+        imbs.push(rt.offload(&region, &mut k).run().unwrap().imbalance_pct);
     }
     let mean = imbs.iter().sum::<f64>() / imbs.len() as f64;
     assert!(mean < 5.0, "mean imbalance {mean:.2}% (paper: <5%)");
@@ -162,7 +162,7 @@ fn cutoff_keeps_gpus_for_matmul_on_full_node() {
     let spec = KernelSpec::MatMul(6_144);
     let region = spec.region((0..7).collect(), Algorithm::Model1 { cutoff: Some(0.15) });
     let mut k = PhantomKernel::new(spec.intensity());
-    let report = rt.offload(&region, &mut k).unwrap();
+    let report = rt.offload(&region, &mut k).run().unwrap();
     let gpus: Vec<u32> = m.by_type(homp_sim::DeviceType::NvGpu);
     for g in gpus {
         assert!(report.kept_devices.contains(&g), "GPU {g} must survive CUTOFF for matmul");
@@ -230,7 +230,7 @@ fn dynamic_chunking_fixes_irregular_loops() {
             .cost_profile(triangular)
             .build();
         let mut k = FnKernel::new(intensity, |_r: Range| {});
-        rt.offload(&region, &mut k).unwrap()
+        rt.offload(&region, &mut k).run().unwrap()
     };
     let block = run(Algorithm::Block);
     let dynamic = run(Algorithm::Dynamic { chunk_pct: 2.0 });

@@ -72,7 +72,7 @@ proptest! {
                     hits[i as usize] += 1;
                 }
             });
-            rt.offload(&region, &mut kernel).unwrap()
+            rt.offload(&region, &mut kernel).run().unwrap()
         };
 
         prop_assert!(hits.iter().all(|&h| h == 1), "some iteration ran 0 or 2 times");
@@ -96,7 +96,7 @@ proptest! {
             let spec = KernelSpec::Axpy(trip);
             let region = spec.region((0..7).collect(), alg);
             let mut k = PhantomKernel::new(spec.intensity());
-            let r = rt.offload(&region, &mut k).unwrap();
+            let r = rt.offload(&region, &mut k).run().unwrap();
             (r.makespan, r.counts.clone(), r.chunks)
         };
         prop_assert_eq!(run(), run());
